@@ -1,0 +1,173 @@
+package spasm
+
+// The benchmark harness regenerates every figure of the paper's
+// evaluation section, one benchmark per figure, reporting the figure's
+// metric for the three machine characterizations as custom benchmark
+// metrics (target_us, clogp_us, logp_us) alongside the usual ns/op of
+// running the simulations themselves.  The simulation-cost comparison
+// and the g-discipline ablation from section 7 have their own benchmarks.
+//
+// Benchmarks run at Tiny scale with a short sweep so `go test -bench=.`
+// completes quickly; `cmd/experiments` regenerates the figures at the
+// paper's full sweep.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchProcs is the sweep used by the figure benchmarks.
+var benchProcs = []int{4, 8}
+
+func benchFigure(b *testing.B, num int) {
+	b.Helper()
+	fig, err := FigureByNumber(num)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last *FigureResult
+	for i := 0; i < b.N; i++ {
+		s := NewSession(Options{Scale: Tiny, Procs: benchProcs})
+		fr, err := s.Figure(fig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = fr
+	}
+	// Report the final sweep point of each machine's curve.
+	for _, series := range last.Series {
+		pt := series.Points[len(series.Points)-1]
+		b.ReportMetric(pt.Value, fmt.Sprintf("%v_us", series.Machine))
+	}
+}
+
+func BenchmarkFig01_FFT_Full_Latency(b *testing.B)         { benchFigure(b, 1) }
+func BenchmarkFig02_CG_Full_Latency(b *testing.B)          { benchFigure(b, 2) }
+func BenchmarkFig03_EP_Full_Latency(b *testing.B)          { benchFigure(b, 3) }
+func BenchmarkFig04_IS_Full_Latency(b *testing.B)          { benchFigure(b, 4) }
+func BenchmarkFig05_CHOLESKY_Full_Latency(b *testing.B)    { benchFigure(b, 5) }
+func BenchmarkFig06_IS_Full_Contention(b *testing.B)       { benchFigure(b, 6) }
+func BenchmarkFig07_IS_Mesh_Contention(b *testing.B)       { benchFigure(b, 7) }
+func BenchmarkFig08_FFT_Cube_Contention(b *testing.B)      { benchFigure(b, 8) }
+func BenchmarkFig09_CHOLESKY_Full_Contention(b *testing.B) { benchFigure(b, 9) }
+func BenchmarkFig10_EP_Full_Contention(b *testing.B)       { benchFigure(b, 10) }
+func BenchmarkFig11_EP_Mesh_Contention(b *testing.B)       { benchFigure(b, 11) }
+func BenchmarkFig12_EP_Full_ExecTime(b *testing.B)         { benchFigure(b, 12) }
+func BenchmarkFig13_FFT_Mesh_ExecTime(b *testing.B)        { benchFigure(b, 13) }
+func BenchmarkFig14_IS_Full_ExecTime(b *testing.B)         { benchFigure(b, 14) }
+func BenchmarkFig15_CG_Full_ExecTime(b *testing.B)         { benchFigure(b, 15) }
+func BenchmarkFig16_CHOLESKY_Full_ExecTime(b *testing.B)   { benchFigure(b, 16) }
+func BenchmarkFig17_CG_Mesh_ExecTime(b *testing.B)         { benchFigure(b, 17) }
+func BenchmarkFig18_CHOLESKY_Mesh_ExecTime(b *testing.B)   { benchFigure(b, 18) }
+func BenchmarkFig19_CG_Mesh_Contention(b *testing.B)       { benchFigure(b, 19) }
+func BenchmarkFig20_CHOLESKY_Mesh_Contention(b *testing.B) { benchFigure(b, 20) }
+
+// BenchmarkSimulationCost measures the cost of simulating each machine
+// characterization over the full application suite — the paper's
+// section-7 "Speed of Simulation" comparison.  ns/op IS the result here:
+// compare the three sub-benchmarks.
+func BenchmarkSimulationCost(b *testing.B) {
+	for _, kind := range []Kind{Target, CLogP, LogP} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				events = 0
+				for _, name := range Apps() {
+					res, err := Run(name, Tiny, 1, Config{
+						Kind: kind, Topology: "full", P: 8,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					events += res.Stats.SimEvents
+				}
+			}
+			b.ReportMetric(float64(events), "sim_events")
+		})
+	}
+}
+
+// BenchmarkGapAblation reproduces the section-7 experiment: contention
+// of FFT on the cube under the strict LogP gap versus the
+// per-event-class gap, against the target machine.
+func BenchmarkGapAblation(b *testing.B) {
+	var rows []AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = GapAblation(Tiny, 1, []int{8})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	r := rows[len(rows)-1]
+	b.ReportMetric(r.Target, "target_us")
+	b.ReportMetric(r.CombinedGap, "combined_us")
+	b.ReportMetric(r.PerClassGap, "perclass_us")
+}
+
+// BenchmarkProtocolComparison runs the protocol-sensitivity study
+// (Berkeley vs MSI vs write-update) and reports the suite-mean ratios.
+func BenchmarkProtocolComparison(b *testing.B) {
+	var rows []ProtocolRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = ProtocolComparison(Tiny, 1, "full", 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var msi, upd float64
+	for _, r := range rows {
+		msi += r.MSI / r.Berkeley
+		upd += r.Update / r.Berkeley
+	}
+	b.ReportMetric(msi/float64(len(rows)), "mean_msi_ratio")
+	b.ReportMetric(upd/float64(len(rows)), "mean_update_ratio")
+}
+
+// BenchmarkTopologyStudy runs the five-topology accuracy comparison.
+func BenchmarkTopologyStudy(b *testing.B) {
+	var rows []TopologyRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = TopologyStudy("is", Tiny, 1, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Ratio, r.Topology+"_ratio")
+	}
+}
+
+// BenchmarkAccuracyDashboard regenerates all figures at bench scale and
+// reports the per-metric abstraction error.
+func BenchmarkAccuracyDashboard(b *testing.B) {
+	var sums []AccuracySummary
+	for i := 0; i < b.N; i++ {
+		s := NewSession(Options{Scale: Tiny, Procs: benchProcs, Parallel: 4})
+		frs, err := s.AllFigures()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sums = Summarize(Accuracy(frs))
+	}
+	for _, s := range sums {
+		name := map[Metric]string{
+			LatencyOvh: "latency", ContentionOvh: "contention", ExecTime: "exec",
+		}[s.Metric]
+		b.ReportMetric(s.CLogPRatio, name+"_clogp_ratio")
+	}
+}
+
+// BenchmarkGapTable times the analytic g derivation (section 5's table).
+func BenchmarkGapTable(b *testing.B) {
+	var rows []GapRow
+	for i := 0; i < b.N; i++ {
+		rows = GapTable([]int{2, 4, 8, 16, 32, 64})
+	}
+	if len(rows) != 18 {
+		b.Fatalf("%d rows", len(rows))
+	}
+}

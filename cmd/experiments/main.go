@@ -1,0 +1,214 @@
+// Command experiments regenerates the paper's evaluation: every numbered
+// figure (1-20) as a table, chart and/or CSV, plus the textual
+// experiments — the simulation-cost comparison, the g-discipline
+// ablation, and the g-parameter table.
+//
+// Usage:
+//
+//	experiments                  # everything, tables + charts
+//	experiments -fig 7           # one figure
+//	experiments -jobs 8          # run the underlying simulations in parallel
+//	experiments -accuracy -format ""        # abstraction-accuracy dashboard
+//	experiments -format csv -out results/   # CSV files per figure
+//	experiments -speed -ablation -gtable    # only the textual experiments
+//	experiments -app is -topo torus -metric contention   # ad-hoc figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spasm"
+)
+
+func main() {
+	var (
+		figNum   = flag.Int("fig", 0, "figure number (0 = all)")
+		scale    = flag.String("scale", "small", "problem scale: tiny, small, medium")
+		procsStr = flag.String("procs", "2,4,8,16,32,64", "processor sweep")
+		seed     = flag.Int64("seed", 1, "synthetic-input seed")
+		format   = flag.String("format", "table,chart", "comma list of table, chart, csv")
+		outDir   = flag.String("out", "", "write per-figure files to this directory")
+		speed    = flag.Bool("speed", false, "run the simulation-cost comparison (S1)")
+		ablation = flag.Bool("ablation", false, "run the g-discipline ablation (S2)")
+		gtable   = flag.Bool("gtable", false, "print the g-parameter table (S3)")
+		onlyText = flag.Bool("no-figures", false, "skip the numbered figures")
+		jobs     = flag.Int("jobs", 4, "concurrent simulations (results are identical)")
+		accuracy = flag.Bool("accuracy", false, "print the abstraction-accuracy dashboard")
+		adHocApp = flag.String("app", "", "ad-hoc figure: application (with -topo and -metric)")
+		adHocTop = flag.String("topo", "mesh", "ad-hoc figure: topology")
+		adHocMet = flag.String("metric", "contention", "ad-hoc figure: latency, contention or exec")
+	)
+	flag.Parse()
+
+	sc, err := spasm.ParseScale(*scale)
+	if err != nil {
+		fail(err)
+	}
+	procs, err := spasm.ParseProcs(*procsStr)
+	if err != nil {
+		fail(err)
+	}
+	formats := map[string]bool{}
+	for _, f := range strings.Split(*format, ",") {
+		formats[strings.TrimSpace(f)] = true
+	}
+
+	s := spasm.NewSession(spasm.Options{Scale: sc, Procs: procs, Seed: *seed, Parallel: *jobs})
+
+	if *adHocApp != "" {
+		metric, err := spasm.ParseMetric(*adHocMet)
+		if err != nil {
+			fail(err)
+		}
+		fr, err := s.CustomFigure(*adHocApp, *adHocTop, metric)
+		if err != nil {
+			fail(err)
+		}
+		emit(fr, formats, *outDir)
+		return
+	}
+
+	if !*onlyText {
+		if *figNum != 0 {
+			f, err := spasm.FigureByNumber(*figNum)
+			if err != nil {
+				fail(err)
+			}
+			fr, err := s.Figure(f)
+			if err != nil {
+				fail(err)
+			}
+			emit(fr, formats, *outDir)
+		} else {
+			frs, err := s.AllFigures()
+			if err != nil {
+				fail(err)
+			}
+			for _, fr := range frs {
+				emit(fr, formats, *outDir)
+			}
+			if *accuracy {
+				printAccuracy(frs)
+			}
+		}
+	}
+
+	if *gtable {
+		printGapTable(procs)
+	}
+	if *ablation {
+		if err := printAblation(sc, *seed, procs); err != nil {
+			fail(err)
+		}
+	}
+	if *speed {
+		if err := printSpeed(s, procs); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func emit(fr *spasm.FigureResult, formats map[string]bool, outDir string) {
+	if formats["table"] {
+		fmt.Println(spasm.FigureTable(fr))
+	}
+	if formats["chart"] {
+		fmt.Println(spasm.FigureChart(fr, 78, 22))
+	}
+	if formats["csv"] {
+		csv := spasm.FigureCSV(fr)
+		if outDir == "" {
+			fmt.Print(csv)
+		} else {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				fail(err)
+			}
+			path := filepath.Join(outDir, fr.Figure.ID()+".csv")
+			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+}
+
+func printAccuracy(frs []*spasm.FigureResult) {
+	rows := spasm.Accuracy(frs)
+	fmt.Println("abstraction accuracy per figure (geometric-mean ratio vs target; 1.00 = exact):")
+	fmt.Printf("%6s %-36s %12s %8s %12s %8s\n",
+		"fig", "caption", "clogp", "trend", "logp", "trend")
+	for _, r := range rows {
+		fmt.Printf("%6s %-36s %11.2fx %8v %11.2fx %8v\n",
+			r.Figure.ID(), r.Figure.Caption(), r.CLogPRatio, r.CLogPTrend,
+			r.LogPRatio, r.LogPTrend)
+	}
+	fmt.Println()
+	fmt.Println("summary by metric:")
+	fmt.Printf("%-16s %4s %12s %10s %12s %10s\n",
+		"metric", "figs", "clogp", "trend%", "logp", "trend%")
+	for _, s := range spasm.Summarize(rows) {
+		fmt.Printf("%-16s %4d %11.2fx %9.0f%% %11.2fx %9.0f%%\n",
+			s.Metric, s.N, s.CLogPRatio, s.CLogPTrendPct, s.LogPRatio, s.LogPTrendPct)
+	}
+	fmt.Println()
+}
+
+func printGapTable(procs []int) {
+	fmt.Println("g parameters from per-processor bisection bandwidth (section 5):")
+	fmt.Printf("%6s %6s %10s\n", "topo", "p", "g_us")
+	for _, row := range spasm.GapTable(procs) {
+		fmt.Printf("%6s %6d %10.3f\n", row.Topology, row.P, row.G.Micros())
+	}
+	fmt.Println()
+}
+
+func printAblation(sc spasm.Scale, seed int64, procs []int) error {
+	rows, err := spasm.GapAblation(sc, seed, procs)
+	if err != nil {
+		return err
+	}
+	fmt.Println("g-discipline ablation — FFT on cube, contention overhead (section 7):")
+	fmt.Printf("%6s %14s %14s %14s\n", "p", "target_us", "combined_us", "perclass_us")
+	for _, r := range rows {
+		fmt.Printf("%6d %14.1f %14.1f %14.1f\n", r.P, r.Target, r.CombinedGap, r.PerClassGap)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printSpeed(s *spasm.Session, procs []int) error {
+	p := procs[len(procs)-1]
+	rows, err := s.SimulationCost("full", p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulation cost — full suite on the full network at p=%d (section 7):\n", p)
+	fmt.Printf("%12s %14s %12s\n", "machine", "events", "wall")
+	var target, clogp, logp float64
+	for _, r := range rows {
+		fmt.Printf("%12v %14d %12v\n", r.Machine, r.Events, r.Wall.Round(1000000))
+		switch r.Machine {
+		case spasm.Target:
+			target = float64(r.Events)
+		case spasm.CLogP:
+			clogp = float64(r.Events)
+		case spasm.LogP:
+			logp = float64(r.Events)
+		}
+	}
+	if target > 0 {
+		fmt.Printf("event ratio: clogp/target = %.2f, logp/target = %.2f\n",
+			clogp/target, logp/target)
+	}
+	fmt.Println()
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command gparam prints the LogP g parameter the paper derives from
+// per-processor bisection bandwidth for each network topology, and shows
+// the closed forms (3.2/p us on full, 1.6 us on cube, 0.8*columns us on
+// the mesh).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spasm"
+)
+
+func main() {
+	procsStr := flag.String("procs", "2,4,8,16,32,64", "processor counts")
+	flag.Parse()
+
+	procs, err := spasm.ParseProcs(*procsStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gparam:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("LogP g parameter (us) from per-processor bisection bandwidth")
+	fmt.Println("L = 1.6 us for all topologies (32-byte message at 20 MB/s)")
+	fmt.Println()
+	fmt.Printf("%6s", "p")
+	for _, topo := range []string{"full", "cube", "mesh"} {
+		fmt.Printf(" %10s", topo)
+	}
+	fmt.Println()
+	rows := spasm.GapTable(procs)
+	byP := map[int]map[string]float64{}
+	for _, r := range rows {
+		if byP[r.P] == nil {
+			byP[r.P] = map[string]float64{}
+		}
+		byP[r.P][r.Topology] = r.G.Micros()
+	}
+	for _, p := range procs {
+		fmt.Printf("%6d", p)
+		for _, topo := range []string{"full", "cube", "mesh"} {
+			fmt.Printf(" %10.3f", byP[p][topo])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("closed forms: g_full = 3.2/p, g_cube = 1.6, g_mesh = 0.8*columns")
+}

@@ -1,0 +1,233 @@
+// Command sweep runs the reproduction's sensitivity and extension
+// studies, each grounded in a claim or proposal of the paper:
+//
+//	sweep -study protocol   # Berkeley vs MSI (section 7 insensitivity claim)
+//	sweep -study cache      # cache-size vs miss rate (64KB working-set claim)
+//	sweep -study adaptive   # history-based g (section 7 future work)
+//	sweep -study leff       # effective L from measured message sizes (section 6.1)
+//	sweep -study trace      # trace-driven vs execution-driven simulation
+//	sweep -study bandwidth  # per-app communication demand (companion TR)
+//	sweep -study tech       # link-bandwidth scaling vs abstraction accuracy
+//	sweep -study fault      # degraded-link injection (abstraction blindness)
+//	sweep -study topo       # abstraction accuracy across all five topologies
+//	sweep -study placement  # blocked vs interleaved data placement
+//	sweep -study mg         # out-of-suite validation (multigrid workload)
+//	sweep -study all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spasm"
+)
+
+func main() {
+	var (
+		study    = flag.String("study", "all", "protocol, cache, adaptive, leff, or all")
+		appName  = flag.String("app", "", "application for cache/adaptive/leff (defaults per study)")
+		topo     = flag.String("topo", "", "topology (defaults per study)")
+		scale    = flag.String("scale", "small", "problem scale: tiny, small, medium")
+		seed     = flag.Int64("seed", 1, "synthetic-input seed")
+		p        = flag.Int("p", 16, "processors for protocol/cache studies")
+		procsStr = flag.String("procs", "2,4,8,16,32", "sweep for adaptive/leff studies")
+	)
+	flag.Parse()
+
+	sc, err := spasm.ParseScale(*scale)
+	if err != nil {
+		fail(err)
+	}
+	procs, err := spasm.ParseProcs(*procsStr)
+	if err != nil {
+		fail(err)
+	}
+
+	run := map[string]bool{}
+	if *study == "all" {
+		for _, s := range []string{"protocol", "cache", "adaptive", "leff", "trace", "bandwidth", "tech", "fault", "topo", "placement", "mg"} {
+			run[s] = true
+		}
+	} else {
+		run[*study] = true
+	}
+
+	if run["protocol"] {
+		topoOr := pick(*topo, "full")
+		fmt.Printf("protocol sensitivity — target execution time, %s network, p=%d:\n", topoOr, *p)
+		rows, err := spasm.ProtocolComparison(sc, *seed, topoOr, *p)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-10s %13s %13s %13s %13s %8s %8s\n",
+			"app", "berkeley_us", "msi_us", "update_us", "clogp_us", "msi/bk", "upd/bk")
+		for _, r := range rows {
+			fmt.Printf("%-10s %13.1f %13.1f %13.1f %13.1f %7.2fx %7.2fx\n",
+				r.App, r.Berkeley, r.MSI, r.Update, r.CLogP,
+				r.MSI/r.Berkeley, r.Update/r.Berkeley)
+		}
+		fmt.Println()
+	}
+
+	if run["cache"] {
+		appOr := pick(*appName, "cg")
+		topoOr := pick(*topo, "full")
+		fmt.Printf("cache-size sweep — %s on target/%s, p=%d:\n", appOr, topoOr, *p)
+		rows, err := spasm.CacheSweep(appOr, sc, *seed, topoOr, *p, []int{1, 2, 4, 8, 16, 32, 64, 128})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%8s %12s %14s\n", "size_kb", "miss_rate", "exec_us")
+		for _, r := range rows {
+			fmt.Printf("%8d %12.4f %14.1f\n", r.SizeKB, r.MissRate, r.Exec)
+		}
+		fmt.Println()
+	}
+
+	if run["adaptive"] {
+		appOr := pick(*appName, "ep")
+		topoOr := pick(*topo, "mesh")
+		fmt.Printf("adaptive g — %s on %s, contention overhead (us):\n", appOr, topoOr)
+		rows, err := spasm.AdaptiveGapStudy(appOr, sc, *seed, topoOr, procs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%6s %14s %14s %14s\n", "p", "target", "static_g", "adaptive_g")
+		for _, r := range rows {
+			fmt.Printf("%6d %14.1f %14.1f %14.1f\n", r.P, r.Target, r.Static, r.Adaptive)
+		}
+		fmt.Println()
+	}
+
+	if run["trace"] {
+		topoOr := pick(*topo, "full")
+		fmt.Printf("trace-driven vs execution-driven — recorded on clogp, replayed on target/%s, p=%d:\n", topoOr, *p)
+		rows, err := spasm.TraceDrivenStudy(sc, *seed, topoOr, *p)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-10s %14s %14s %10s %12s\n", "app", "exec_us", "trace_us", "ratio", "events")
+		for _, r := range rows {
+			fmt.Printf("%-10s %14.1f %14.1f %9.2fx %12d\n",
+				r.App, r.ExecDriven, r.TraceDriven, r.TraceDriven/r.ExecDriven, r.Events)
+		}
+		fmt.Println()
+	}
+
+	if run["bandwidth"] {
+		topoOr := pick(*topo, "full")
+		fmt.Printf("bandwidth demand per processor — %s network, p=%d (links are 20 MB/s):\n", topoOr, *p)
+		rows, err := spasm.BandwidthStudy(sc, *seed, topoOr, *p)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-10s %16s %16s\n", "app", "true_mbps", "target_mbps")
+		for _, r := range rows {
+			fmt.Printf("%-10s %16.2f %16.2f\n", r.App, r.PerProcMBps, r.TargetMBps)
+		}
+		fmt.Println()
+	}
+
+	if run["tech"] {
+		appOr := pick(*appName, "is")
+		topoOr := pick(*topo, "mesh")
+		fmt.Printf("technology scaling — %s on %s, p=%d:\n", appOr, topoOr, *p)
+		rows, err := spasm.TechnologyStudy(appOr, sc, *seed, topoOr, *p, []float64{20, 40, 80, 160, 320})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%10s %14s %14s %12s\n", "link_mbps", "target_us", "clogp_us", "clogp/target")
+		for _, r := range rows {
+			fmt.Printf("%10.0f %14.1f %14.1f %11.2fx\n", r.LinkMBps, r.TargetExec, r.CLogPExec, r.Ratio)
+		}
+		fmt.Println()
+	}
+
+	if run["fault"] {
+		appOr := pick(*appName, "fft")
+		fmt.Printf("degraded-link injection — %s on mesh, p=%d:\n", appOr, *p)
+		rows, err := spasm.DegradedLinkStudy(appOr, sc, *seed, *p, []int{1, 2, 4, 8})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%10s %14s %14s\n", "slowdown", "target_us", "clogp_us")
+		for _, r := range rows {
+			fmt.Printf("%9dx %14.1f %14.1f\n", r.Factor, r.TargetExec, r.CLogPExec)
+		}
+		fmt.Println("(the L/g abstraction cannot represent a single slow link)")
+		fmt.Println()
+	}
+
+	if run["topo"] {
+		appOr := pick(*appName, "is")
+		fmt.Printf("topology comparison — %s, p=%d (clogp/target execution ratio):\n", appOr, *p)
+		rows, err := spasm.TopologyStudy(appOr, sc, *seed, *p)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%8s %10s %14s %14s %12s\n", "topo", "g_us", "target_us", "clogp_us", "ratio")
+		for _, r := range rows {
+			fmt.Printf("%8s %10.3f %14.1f %14.1f %11.2fx\n",
+				r.Topology, r.G.Micros(), r.TargetExec, r.CLogPExec, r.Ratio)
+		}
+		fmt.Println()
+	}
+
+	if run["placement"] {
+		topoOr := pick(*topo, "cube")
+		fmt.Printf("data placement — cg on target/%s, p=%d:\n", topoOr, *p)
+		rows, err := spasm.PlacementStudy(sc, *seed, topoOr, *p)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%12s %14s %14s %12s\n", "placement", "exec_us", "latency_us", "misses")
+		for _, r := range rows {
+			fmt.Printf("%12v %14.1f %14.1f %12d\n", r.Placement, r.TargetExec, r.Latency, r.Misses)
+		}
+		fmt.Println()
+	}
+
+	if run["mg"] {
+		topoOr := pick(*topo, "cube")
+		fmt.Printf("out-of-suite validation — multigrid on %s:\n", topoOr)
+		rows, err := spasm.ExtendedAppStudy("mg", sc, *seed, topoOr, procs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%6s %14s %14s %14s %14s\n", "p", "target_us", "clogp_us", "logp_us", "lat clogp/tgt")
+		for _, r := range rows {
+			fmt.Printf("%6d %14.1f %14.1f %14.1f %13.2fx\n",
+				r.P, r.TargetExec, r.CLogPExec, r.LogPExec, r.CLogPLatencyRatio)
+		}
+		fmt.Println()
+	}
+
+	if run["leff"] {
+		appOr := pick(*appName, "fft")
+		topoOr := pick(*topo, "full")
+		fmt.Printf("effective L — %s on %s, latency overhead (us):\n", appOr, topoOr)
+		rows, err := spasm.EffectiveLStudy(appOr, sc, *seed, topoOr, procs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%6s %12s %14s %14s %14s\n", "p", "mean_bytes", "target", "L=32B", "L=measured")
+		for _, r := range rows {
+			fmt.Printf("%6d %12.1f %14.1f %14.1f %14.1f\n",
+				r.P, r.MeanMsgBytes, r.TargetLatency, r.L32Latency, r.EffLatency)
+		}
+		fmt.Println()
+	}
+}
+
+func pick(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,147 @@
+// Command trace records, inspects and replays shared-memory reference
+// traces — the trace-driven counterpart to the simulator's native
+// execution-driven mode.
+//
+//	trace record -app fft -machine clogp -topo full -p 8 -o fft.trace
+//	trace info fft.trace
+//	trace replay -machine target -topo mesh fft.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spasm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: trace record|info|replay [flags] [file]")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	appName := fs.String("app", "fft", "application to record")
+	machStr := fs.String("machine", "clogp", "machine to record on")
+	topo := fs.String("topo", "full", "topology")
+	p := fs.Int("p", 8, "processors")
+	scale := fs.String("scale", "tiny", "problem scale")
+	seed := fs.Int64("seed", 1, "input seed")
+	out := fs.String("o", "app.trace", "output file")
+	_ = fs.Parse(args)
+
+	kind := mustKind(*machStr)
+	sc := mustScale(*scale)
+	tr, res, err := spasm.RecordTrace(*appName, sc, *seed, spasm.Config{
+		Kind: kind, Topology: *topo, P: *p,
+	})
+	if err != nil {
+		fail(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := tr.Encode(f); err != nil {
+		fail(err)
+	}
+	fmt.Printf("recorded %d events (%d regions) from %s on %v/%s p=%d -> %s\n",
+		len(tr.Events), len(tr.Regions), *appName, kind, *topo, *p, *out)
+	fmt.Printf("execution-driven time on the recording machine: %.1f us\n",
+		res.Stats.Total.Micros())
+}
+
+func info(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	tr := mustLoad(args[0])
+	reads, writes := 0, 0
+	for _, e := range tr.Events {
+		if e.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	fmt.Printf("%s: p=%d, %d regions, %d events (%d reads, %d writes)\n",
+		args[0], tr.P, len(tr.Regions), len(tr.Events), reads, writes)
+	for _, r := range tr.Regions {
+		fmt.Printf("  region %-16s n=%-8d elem=%dB policy=%v base=%#x\n",
+			r.Name, r.N, r.ElemSize, r.Policy, uint64(r.Base))
+	}
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	machStr := fs.String("machine", "target", "machine to replay on")
+	topo := fs.String("topo", "full", "topology")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	tr := mustLoad(fs.Arg(0))
+	kind := mustKind(*machStr)
+	res, err := spasm.ReplayTrace(tr, spasm.Config{Kind: kind, Topology: *topo, P: tr.P})
+	if err != nil {
+		fail(err)
+	}
+	r := res.Stats
+	fmt.Printf("trace-driven replay on %v/%s p=%d:\n", kind, *topo, tr.P)
+	fmt.Printf("  execution time : %12.1f us\n", r.Total.Micros())
+	fmt.Printf("  latency        : %12.1f us\n", r.Sum(spasm.Latency).Micros())
+	fmt.Printf("  contention     : %12.1f us\n", r.Sum(spasm.Contention).Micros())
+	fmt.Printf("  messages       : %12d\n", r.Messages())
+}
+
+func mustLoad(path string) *spasm.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	tr, err := spasm.DecodeTrace(f)
+	if err != nil {
+		fail(err)
+	}
+	return tr
+}
+
+func mustKind(s string) spasm.Kind {
+	k, err := spasm.ParseKind(s)
+	if err != nil {
+		fail(err)
+	}
+	return k
+}
+
+func mustScale(s string) spasm.Scale {
+	sc, err := spasm.ParseScale(s)
+	if err != nil {
+		fail(err)
+	}
+	return sc
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "trace:", err)
+	os.Exit(1)
+}

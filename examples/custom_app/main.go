@@ -1,0 +1,129 @@
+// custom_app shows how to write a new parallel application against the
+// public Proc API and run it on every machine characterization.  The
+// program is a 1-D Jacobi relaxation: each processor owns a contiguous
+// slab of the grid and reads its neighbours' boundary cells each sweep —
+// classic nearest-neighbour communication with strong locality.
+//
+//	go run ./examples/custom_app
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"spasm"
+)
+
+// Jacobi is a 1-D three-point relaxation over a shared grid.
+type Jacobi struct {
+	N      int // grid cells
+	Sweeps int
+
+	grid *spasm.Array
+	next *spasm.Array
+	bar  *spasm.Barrier
+
+	cur, nxt []float64
+}
+
+// Name implements spasm.Program.
+func (j *Jacobi) Name() string { return "jacobi" }
+
+// Setup allocates the two grids (blocked, so each processor's slab is
+// local) and the sweep barrier, and initializes a step-function input.
+func (j *Jacobi) Setup(c *spasm.Ctx) {
+	j.grid = c.Space.Alloc("jacobi.grid", j.N, 8, spasm.Blocked)
+	j.next = c.Space.Alloc("jacobi.next", j.N, 8, spasm.Blocked)
+	j.bar = c.NewBarrier("jacobi.bar", c.P, 0)
+	j.cur = make([]float64, j.N)
+	j.nxt = make([]float64, j.N)
+	for i := j.N / 2; i < j.N; i++ {
+		j.cur[i] = 1
+	}
+}
+
+// Body implements spasm.Program: each sweep reads the slab plus two halo
+// cells (the neighbour reads are the only communication) and writes the
+// relaxed values.
+func (j *Jacobi) Body(p *spasm.Proc) {
+	per := j.N / p.Ctx.P
+	lo := p.ID * per
+	hi := lo + per
+	if p.ID == p.Ctx.P-1 {
+		hi = j.N
+	}
+	for s := 0; s < j.Sweeps; s++ {
+		src, dst := j.grid, j.next
+		cur, nxt := j.cur, j.nxt
+		if s%2 == 1 {
+			src, dst = j.next, j.grid
+			cur, nxt = j.nxt, j.cur
+		}
+		// Halo reads: the only remote references.
+		if lo > 0 {
+			p.ReadElem(src, lo-1)
+		}
+		if hi < j.N {
+			p.ReadElem(src, hi)
+		}
+		p.ReadRange(src, lo, hi)
+		for i := lo; i < hi; i++ {
+			left, right := 0.0, 1.0
+			if i > 0 {
+				left = cur[i-1]
+			}
+			if i < j.N-1 {
+				right = cur[i+1]
+			}
+			nxt[i] = 0.5 * (left + right)
+		}
+		p.Compute(int64(hi-lo) * 3)
+		p.WriteRange(dst, lo, hi)
+		j.bar.Arrive(p)
+	}
+}
+
+// Check verifies the relaxation is converging toward the linear ramp.
+func (j *Jacobi) Check() error {
+	final := j.cur
+	if j.Sweeps%2 == 1 {
+		final = j.nxt
+	}
+	// After enough sweeps the interior must be monotone non-decreasing.
+	for i := 1; i < j.N; i++ {
+		if final[i]+1e-9 < final[i-1] {
+			return fmt.Errorf("jacobi: not monotone at %d (%g > %g)", i, final[i-1], final[i])
+		}
+	}
+	if math.IsNaN(final[j.N/2]) {
+		return fmt.Errorf("jacobi: NaN in result")
+	}
+	return nil
+}
+
+func main() {
+	fmt.Println("Custom application (1-D Jacobi) on all machine characterizations")
+	fmt.Println()
+	fmt.Printf("%-10s %14s %14s %14s %12s\n", "machine", "exec_us", "latency_us", "contention_us", "messages")
+	for _, kind := range spasm.Machines() {
+		prog := &Jacobi{N: 4096, Sweeps: 10}
+		res, err := spasm.RunProgram(prog, spasm.Config{
+			Kind: kind, Topology: "mesh", P: 16,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := res.Stats
+		fmt.Printf("%-10v %14.1f %14.1f %14.1f %12d\n",
+			kind, r.Total.Micros(),
+			r.Sum(spasm.Latency).Micros(),
+			r.Sum(spasm.Contention).Micros(),
+			r.Messages())
+	}
+	fmt.Println()
+	fmt.Println("Nearest-neighbour halo exchange has strong locality: the cached")
+	fmt.Println("machines only re-fetch the boundary blocks that ping-pong between")
+	fmt.Println("neighbours each sweep, while the cache-less LogP machine pays a")
+	fmt.Println("round trip for every halo probe, every sweep.")
+}

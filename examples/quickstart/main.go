@@ -1,0 +1,49 @@
+// Quickstart: simulate one application on the detailed target machine
+// and print the SPASM-style separation of overheads.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spasm"
+)
+
+func main() {
+	res, err := spasm.Run("fft", spasm.Small, 1, spasm.Config{
+		Kind:     spasm.Target,
+		Topology: "mesh",
+		P:        16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r := res.Stats
+	fmt.Printf("FFT on the target CC-NUMA machine (16 processors, 2-D mesh)\n\n")
+	fmt.Printf("execution time      %10.1f us\n", r.Total.Micros())
+	fmt.Printf("compute (sum)       %10.1f us\n", r.Sum(spasm.Compute).Micros())
+	fmt.Printf("memory (sum)        %10.1f us\n", r.Sum(spasm.Memory).Micros())
+	fmt.Printf("latency (sum)       %10.1f us   <- contention-free message time\n", r.Sum(spasm.Latency).Micros())
+	fmt.Printf("contention (sum)    %10.1f us   <- waiting for links\n", r.Sum(spasm.Contention).Micros())
+	fmt.Printf("synchronization     %10.1f us\n", r.Sum(spasm.Sync).Micros())
+	fmt.Printf("network messages    %10d\n", r.Messages())
+	fmt.Printf("simulation cost     %10d events in %v\n", r.SimEvents, r.Wall)
+
+	// The same program runs unmodified on the abstract machines.
+	for _, kind := range []spasm.Kind{spasm.CLogP, spasm.LogP} {
+		res, err := spasm.Run("fft", spasm.Small, 1, spasm.Config{
+			Kind: kind, Topology: "mesh", P: 16,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\non %-10v         exec %10.1f us, latency %10.1f us, contention %10.1f us",
+			kind, res.Stats.Total.Micros(),
+			res.Stats.Sum(spasm.Latency).Micros(),
+			res.Stats.Sum(spasm.Contention).Micros())
+	}
+	fmt.Println()
+}

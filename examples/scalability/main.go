@@ -1,0 +1,53 @@
+// scalability reproduces the kind of overhead-separated speedup study
+// SPASM was originally built for: how far an application scales on the
+// detailed target machine, how much of the loss is algorithmic (visible
+// on the ideal PRAM-like machine) versus architectural, and how the
+// abstractions would have predicted it.
+//
+//	go run ./examples/scalability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spasm"
+)
+
+func main() {
+	const appName = "cg"
+	procs := []int{2, 4, 8, 16, 32}
+	s := spasm.NewSession(spasm.Options{Scale: spasm.Small, Procs: procs})
+
+	fmt.Printf("Scalability of %s on the 2-D mesh (ideal-machine baseline)\n\n", appName)
+	fmt.Printf("%6s %12s %12s %10s %10s %12s\n",
+		"procs", "exec_us", "ideal_us", "speedup", "algo-spd", "efficiency")
+
+	rows, err := s.Speedup(appName, "mesh", spasm.Target, procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%6d %12.1f %12.1f %9.2fx %9.2fx %11.0f%%\n",
+			r.P, r.Exec, r.IdealExec, r.Speedup, r.AlgorithmicSpeedup, 100*r.Efficiency)
+	}
+
+	fmt.Println()
+	fmt.Println("Predicted speedup at each sweep point, by machine abstraction:")
+	fmt.Printf("%6s %10s %10s %10s\n", "procs", "LogP", "LogP+Cache", "Target")
+	for _, p := range procs {
+		fmt.Printf("%6d", p)
+		for _, kind := range []spasm.Kind{spasm.LogP, spasm.CLogP, spasm.Target} {
+			rows, err := s.Speedup(appName, "mesh", kind, []int{p})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %9.2fx", rows[0].Speedup)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("The gap between algorithmic and real speedup is the architectural")
+	fmt.Println("overhead SPASM separates; the gap between the LogP column and the")
+	fmt.Println("Target column is the cost of ignoring locality when predicting it.")
+}

@@ -1,0 +1,3 @@
+module spasm
+
+go 1.22

@@ -1,0 +1,113 @@
+// Package analytic implements the kind of closed-form queueing model of
+// interconnection-network contention that the paper's related-work
+// section contrasts with execution-driven simulation (Agarwal, "Limits
+// on Interconnection Network Performance"; Dally, "Performance analysis
+// of k-ary n-cube interconnection networks").
+//
+// The model treats every network resource — a node's injection port,
+// each directed link, the destination's ejection port — as an M/D/1
+// queue under uniform random traffic, and predicts the mean waiting time
+// a message accumulates across its route.  Such models are useful
+// exactly as far as their assumptions hold: the accompanying experiment
+// validates the prediction against the detailed simulated network for
+// uniform traffic and shows it collapsing for hot-spot traffic — the
+// paper's argument for application-driven simulation in one picture.
+package analytic
+
+import (
+	"fmt"
+
+	"spasm/internal/network"
+	"spasm/internal/sim"
+)
+
+// MeanRouteLength returns the average number of links on a route between
+// distinct nodes, exactly (by enumeration).
+func MeanRouteLength(t network.Topology) float64 {
+	p := t.P()
+	total := 0
+	for s := 0; s < p; s++ {
+		for d := 0; d < p; d++ {
+			if s != d {
+				total += t.Hops(s, d)
+			}
+		}
+	}
+	return float64(total) / float64(p*(p-1))
+}
+
+// UsedLinks returns the number of distinct directed links that appear on
+// at least one route (on the mesh, edge nodes have fewer usable links
+// than the id space suggests).
+func UsedLinks(t network.Topology) int {
+	p := t.P()
+	seen := map[int]bool{}
+	for s := 0; s < p; s++ {
+		for d := 0; d < p; d++ {
+			if s == d {
+				continue
+			}
+			for _, l := range t.Route(s, d) {
+				seen[l] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+// Load describes the offered traffic for a prediction.
+type Load struct {
+	// Rate is each node's message injection rate, in messages per
+	// unit of simulated time.
+	Rate float64
+	// Service is the mean message service (transmission) time.
+	Service sim.Time
+}
+
+// Prediction is the model's output.
+type Prediction struct {
+	// MeanRoute is the average hop count under uniform traffic.
+	MeanRoute float64
+	// PortRho and LinkRho are the utilizations of a node port and of
+	// a link.
+	PortRho float64
+	LinkRho float64
+	// WaitPerMessage is the predicted mean total waiting (contention)
+	// time per message.
+	WaitPerMessage float64
+	// Saturated reports that some resource's utilization reached 1,
+	// where the open queueing model has no finite solution.
+	Saturated bool
+}
+
+// md1Wait returns the M/D/1 mean waiting time for utilization rho and
+// deterministic service time s.
+func md1Wait(rho float64, s float64) float64 {
+	return rho * s / (2 * (1 - rho))
+}
+
+// Predict applies the model to uniform random traffic on t.
+func Predict(t network.Topology, load Load) (Prediction, error) {
+	if load.Rate <= 0 || load.Service <= 0 {
+		return Prediction{}, fmt.Errorf("analytic: non-positive load %+v", load)
+	}
+	s := float64(load.Service)
+	pr := Prediction{MeanRoute: MeanRouteLength(t)}
+
+	// Ports: every message occupies its source injection port and its
+	// destination ejection port for one service time.  Under uniform
+	// traffic each node also *receives* at rate Rate, so both port
+	// classes see the same utilization.
+	pr.PortRho = load.Rate * s
+	// Links: total link-visits per unit time = P * Rate * MeanRoute,
+	// spread over the links that routes actually use.
+	links := float64(UsedLinks(t))
+	pr.LinkRho = float64(t.P()) * load.Rate * pr.MeanRoute * s / links
+
+	if pr.PortRho >= 1 || pr.LinkRho >= 1 {
+		pr.Saturated = true
+		return pr, nil
+	}
+	pr.WaitPerMessage = 2*md1Wait(pr.PortRho, s) + pr.MeanRoute*md1Wait(pr.LinkRho, s)
+	return pr, nil
+}

@@ -1,0 +1,165 @@
+package analytic
+
+import (
+	"testing"
+
+	"spasm/internal/app"
+	"spasm/internal/apps"
+	"spasm/internal/machine"
+	"spasm/internal/network"
+	"spasm/internal/sim"
+	"spasm/internal/stats"
+)
+
+func TestMeanRouteLengthExactValues(t *testing.T) {
+	if got := MeanRouteLength(network.NewFull(8)); got != 1 {
+		t.Errorf("full mean route = %v", got)
+	}
+	// Hypercube over p=2^k: mean Hamming distance between distinct
+	// nodes = k * 2^(k-1) / (2^k - 1).
+	if got, want := MeanRouteLength(network.NewCube(8)), 3.0*4/7; !close(got, want) {
+		t.Errorf("cube(8) mean route = %v, want %v", got, want)
+	}
+	// 2x2 mesh: routes of length 1 (4 ordered pairs) and 2 (2 pairs x
+	// 2 directions... enumerate: pairs (0,3),(3,0),(1,2),(2,1) have
+	// length 2, the other 8 have length 1) -> (8*1 + 4*2)/12 = 4/3.
+	if got, want := MeanRouteLength(network.NewMesh(4)), 4.0/3; !close(got, want) {
+		t.Errorf("mesh(4) mean route = %v, want %v", got, want)
+	}
+}
+
+func TestUsedLinks(t *testing.T) {
+	if got := UsedLinks(network.NewFull(4)); got != 12 { // ordered pairs
+		t.Errorf("full(4) used links = %d", got)
+	}
+	if got := UsedLinks(network.NewCube(8)); got != 24 { // p * dims
+		t.Errorf("cube(8) used links = %d", got)
+	}
+	// 2x2 mesh: 4 undirected edges = 8 directed links, all used.
+	if got := UsedLinks(network.NewMesh(4)); got != 8 {
+		t.Errorf("mesh(4) used links = %d", got)
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	if _, err := Predict(network.NewCube(8), Load{Rate: 0, Service: 10}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Predict(network.NewCube(8), Load{Rate: 0.1, Service: 0}); err == nil {
+		t.Error("zero service accepted")
+	}
+}
+
+func TestPredictSaturation(t *testing.T) {
+	pr, err := Predict(network.NewMesh(16), Load{Rate: 1, Service: sim.Micros(1.6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Saturated {
+		t.Errorf("absurd load not saturated: %+v", pr)
+	}
+}
+
+func TestPredictMonotoneInLoad(t *testing.T) {
+	topo := network.NewCube(16)
+	var prev float64
+	for i, rate := range []float64{1e-5, 2e-5, 4e-5, 8e-5} {
+		pr, err := Predict(topo, Load{Rate: rate, Service: sim.Micros(1.6)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.Saturated {
+			t.Fatalf("saturated at rate %v", rate)
+		}
+		if i > 0 && pr.WaitPerMessage <= prev {
+			t.Errorf("wait not increasing with load: %v after %v", pr.WaitPerMessage, prev)
+		}
+		prev = pr.WaitPerMessage
+	}
+}
+
+// measure runs a microbenchmark on the detailed target network and
+// returns the per-message offered rate, mean service time, and measured
+// mean waiting per message.
+func measure(t *testing.T, pattern apps.Pattern, think int64, topo string, p int) (Load, float64) {
+	t.Helper()
+	prog := apps.NewMicro(pattern, 400, think, 1)
+	res, err := app.Run(prog, machine.Config{Kind: machine.Target, Topology: topo, P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Stats
+	msgs := float64(r.Messages())
+	bytes := float64(r.Count(func(q *stats.Proc) uint64 { return q.NetBytes }))
+	dur := float64(r.Total)
+	load := Load{
+		Rate:    msgs / float64(p) / dur,
+		Service: sim.Time(bytes / msgs * float64(sim.SerialByte)),
+	}
+	waitPerMsg := float64(r.Sum(stats.Contention)) / msgs
+	return load, waitPerMsg
+}
+
+// TestModelTracksUniformTraffic: for the traffic that satisfies its
+// assumptions, the queueing model predicts the simulated contention
+// within a small factor.
+func TestModelTracksUniformTraffic(t *testing.T) {
+	topoName := "cube"
+	load, measured := measure(t, apps.UniformPattern, 200, topoName, 8)
+	topo, _ := network.New(topoName, 8)
+	pr, err := Predict(topo, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Saturated {
+		t.Fatalf("model saturated at measured load %+v", load)
+	}
+	ratio := measured / pr.WaitPerMessage
+	if ratio < 0.2 || ratio > 5 {
+		t.Errorf("uniform traffic: measured wait %v vs predicted %v (ratio %.2f)",
+			measured, pr.WaitPerMessage, ratio)
+	}
+}
+
+// TestModelBreaksOnHotSpot: hot-spot traffic violates the uniformity
+// assumption, and the model must underpredict badly — the paper's
+// argument for application-driven evaluation.
+func TestModelBreaksOnHotSpot(t *testing.T) {
+	topoName := "cube"
+	uLoad, uMeasured := measure(t, apps.UniformPattern, 200, topoName, 8)
+	hLoad, hMeasured := measure(t, apps.HotSpotPattern, 200, topoName, 8)
+	topo, _ := network.New(topoName, 8)
+	uPred, err := Predict(topo, uLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hPred, err := Predict(topo, hLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uErr := uMeasured / uPred.WaitPerMessage
+	hErr := 10.0
+	if !hPred.Saturated {
+		hErr = hMeasured / hPred.WaitPerMessage
+	}
+	if hErr <= uErr {
+		t.Errorf("model error on hot-spot (%.2fx) not above uniform (%.2fx)", hErr, uErr)
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	for p, want := range map[apps.Pattern]string{
+		apps.UniformPattern:  "uniform",
+		apps.HotSpotPattern:  "hotspot",
+		apps.NeighborPattern: "neighbor",
+	} {
+		if p.String() != want {
+			t.Errorf("pattern %d name %q", p, p.String())
+		}
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -1,0 +1,139 @@
+package app
+
+import (
+	"fmt"
+	"time"
+
+	"spasm/internal/machine"
+	"spasm/internal/mem"
+	"spasm/internal/sim"
+	"spasm/internal/stats"
+)
+
+// Ctx is the shared context of one program run: the address space the
+// program allocates into, the machine it runs on, and the statistics it
+// accumulates.  Programs allocate their shared data and synchronization
+// objects in Setup and keep references to them for Body.
+type Ctx struct {
+	P     int
+	Space *mem.Space
+	M     machine.Machine
+	Run   *stats.Run
+	Eng   *sim.Engine
+	// Phases holds the per-phase overhead profile, populated when the
+	// program marks phase boundaries with Proc.Phase.
+	Phases *PhaseProfile
+}
+
+// Program is a parallel application.  Setup runs once (unsimulated) to
+// allocate shared data; Body runs once per simulated processor, in
+// parallel in simulated time.  Check, if non-nil, verifies the computed
+// result after the run (the execution-driven applications compute real
+// values in host memory alongside their simulated references).
+type Program interface {
+	// Name identifies the application ("ep", "is", "fft", "cg",
+	// "cholesky", ...).
+	Name() string
+	// Setup allocates shared arrays and synchronization objects.
+	Setup(c *Ctx)
+	// Body is the per-processor program.
+	Body(p *Proc)
+	// Check validates the application's computed results; it returns
+	// an error describing the first inconsistency.
+	Check() error
+}
+
+// Result bundles a run's statistics with its configuration, the machine
+// it ran on, and the address space it allocated (for post-run
+// inspection: invariant checks, network counters, trace metadata).
+type Result struct {
+	Program string
+	Config  machine.Config
+	Stats   *stats.Run
+	Machine machine.Machine
+	Space   *mem.Space
+	// Phases is the per-phase overhead profile (empty unless the
+	// program marks phases).
+	Phases *PhaseProfile
+}
+
+// Run executes prog on a machine built from cfg with cfg.P processors
+// and returns the accumulated statistics.  The simulation is
+// deterministic: identical programs and configurations produce identical
+// results.
+func Run(prog Program, cfg machine.Config) (*Result, error) {
+	return RunWrapped(prog, cfg, nil)
+}
+
+// RunWrapped is Run with a machine decorator: wrap (if non-nil) receives
+// the configured machine and returns the machine the program actually
+// drives — the hook used by trace recording and other instrumentation.
+func RunWrapped(prog Program, cfg machine.Config, wrap func(machine.Machine) machine.Machine) (*Result, error) {
+	if cfg.P < 1 {
+		return nil, fmt.Errorf("app: run with P=%d", cfg.P)
+	}
+	blockBytes := cfg.Cache.BlockBytes
+	if blockBytes == 0 {
+		blockBytes = mem.DefaultBlockBytes
+	}
+	space := mem.NewSpace(cfg.P, blockBytes)
+	eng := sim.NewEngine()
+	run := stats.NewRun(cfg.P)
+	ctx := &Ctx{P: cfg.P, Space: space, Run: run, Eng: eng, Phases: newPhaseProfile()}
+
+	if err := setupSafely(prog, ctx); err != nil {
+		return nil, err
+	}
+
+	m, err := machine.New(cfg, space)
+	if err != nil {
+		return nil, err
+	}
+	if wrap != nil {
+		m = wrap(m)
+	}
+	ctx.M = m
+
+	for i := 0; i < cfg.P; i++ {
+		i := i
+		eng.Spawn(fmt.Sprintf("%s/p%d", prog.Name(), i), func(sp *sim.Proc) {
+			p := &Proc{ID: i, S: sp, M: m, St: &run.Procs[i], Ctx: ctx}
+			prog.Body(p)
+			p.closePhase()
+			run.Finish(i, sp.Now())
+		})
+	}
+
+	t0 := time.Now()
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("app: %s on %v/%s p=%d: %w",
+			prog.Name(), cfg.Kind, cfg.Topology, cfg.P, err)
+	}
+	run.Wall = time.Since(t0)
+	run.SimEvents = eng.Events
+
+	if err := prog.Check(); err != nil {
+		return nil, fmt.Errorf("app: %s result check failed: %w", prog.Name(), err)
+	}
+	return &Result{
+		Program: prog.Name(),
+		Config:  cfg,
+		Stats:   run,
+		Machine: m,
+		Space:   space,
+		Phases:  ctx.Phases,
+	}, nil
+}
+
+// setupSafely runs prog.Setup, converting panics (bad sizes, invalid
+// parameters) into errors so a misconfigured program fails its run
+// rather than the whole process.
+func setupSafely(prog Program, ctx *Ctx) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("app: %s setup panicked: %v", prog.Name(), r)
+		}
+	}()
+	prog.Setup(ctx)
+	return nil
+}

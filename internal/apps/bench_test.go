@@ -1,0 +1,39 @@
+package apps
+
+import (
+	"testing"
+
+	"spasm/internal/app"
+	"spasm/internal/machine"
+)
+
+// benchApp measures one full execution-driven simulation of an
+// application on the target machine at Tiny scale — the end-to-end cost
+// of the simulator per workload.
+func benchApp(b *testing.B, name string, kind machine.Kind) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		prog, err := New(name, Tiny, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := app.Run(prog, machine.Config{Kind: kind, Topology: "mesh", P: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(res.Stats.SimEvents), "sim_events")
+			b.ReportMetric(res.Stats.Total.Micros(), "simulated_us")
+		}
+	}
+}
+
+func BenchmarkEPOnTarget(b *testing.B)       { benchApp(b, "ep", machine.Target) }
+func BenchmarkFFTOnTarget(b *testing.B)      { benchApp(b, "fft", machine.Target) }
+func BenchmarkISOnTarget(b *testing.B)       { benchApp(b, "is", machine.Target) }
+func BenchmarkCGOnTarget(b *testing.B)       { benchApp(b, "cg", machine.Target) }
+func BenchmarkCHOLESKYOnTarget(b *testing.B) { benchApp(b, "cholesky", machine.Target) }
+
+func BenchmarkFFTOnCLogP(b *testing.B) { benchApp(b, "fft", machine.CLogP) }
+func BenchmarkFFTOnLogP(b *testing.B)  { benchApp(b, "fft", machine.LogP) }
+func BenchmarkFFTOnIdeal(b *testing.B) { benchApp(b, "fft", machine.Ideal) }

@@ -1,0 +1,92 @@
+package apps
+
+import (
+	"testing"
+
+	"spasm/internal/app"
+	"spasm/internal/machine"
+	"spasm/internal/stats"
+)
+
+func runEP(t *testing.T, kind machine.Kind, p int, pairs int) (*EP, *stats.Run) {
+	t.Helper()
+	ep := &EP{Pairs: pairs, PairCycles: 120, Seed: 1}
+	res, err := app.Run(ep, machine.Config{Kind: kind, Topology: "full", P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep, res.Stats
+}
+
+func TestEPTallyMatchesOracleOnEveryMachine(t *testing.T) {
+	// Check() already compares against the oracle; this asserts the
+	// run completes on every machine, i.e. the merge and signalling
+	// chain work under all timing models.
+	for _, kind := range machine.Kinds() {
+		runEP(t, kind, 4, 512)
+	}
+}
+
+func TestEPBinsSumToAcceptedPairs(t *testing.T) {
+	ep, _ := runEP(t, machine.Ideal, 4, 2048)
+	var total int64
+	for _, b := range ep.bins {
+		total += b
+	}
+	// Polar method acceptance rate is pi/4 ~ 78.5%.
+	if total < 1200 || total > 1900 {
+		t.Errorf("accepted %d of 2048 pairs (expected ~78%%)", total)
+	}
+}
+
+func TestEPComputeDominates(t *testing.T) {
+	// The defining property of EP: compute overwhelms communication.
+	_, run := runEP(t, machine.Target, 4, 1<<13)
+	compute := run.Sum(stats.Compute)
+	network := run.Sum(stats.Latency) + run.Sum(stats.Contention)
+	if compute < 10*network {
+		t.Errorf("compute %v not >= 10x network %v", compute, network)
+	}
+}
+
+func TestEPSignallingChainIsNeighbourly(t *testing.T) {
+	// Flag i is homed at node i, so the wait-then-signal chain
+	// communicates only between ID-adjacent processors — the
+	// communication locality that makes the paper's Figure 11 g
+	// estimate so pessimistic.  Verify the flags' homes.
+	ep := NewEP(Tiny, 1).(*EP)
+	res, err := app.Run(ep, machine.Config{Kind: machine.Ideal, Topology: "full", P: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range ep.flags {
+		if home := res.Space.Home(f.Addr()); home != i {
+			t.Errorf("flag %d homed at %d", i, home)
+		}
+	}
+}
+
+func TestEPScalesWork(t *testing.T) {
+	_, small := runEP(t, machine.Ideal, 4, 512)
+	_, large := runEP(t, machine.Ideal, 4, 4096)
+	if large.Total <= small.Total {
+		t.Errorf("more pairs did not take longer: %v vs %v", large.Total, small.Total)
+	}
+}
+
+func TestEPWorkBalanced(t *testing.T) {
+	_, run := runEP(t, machine.Ideal, 8, 1<<12)
+	minC, maxC := run.Procs[0].Time[stats.Compute], run.Procs[0].Time[stats.Compute]
+	for i := range run.Procs {
+		c := run.Procs[i].Time[stats.Compute]
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC > minC*11/10 {
+		t.Errorf("compute imbalance: %v vs %v", minC, maxC)
+	}
+}

@@ -1,0 +1,127 @@
+package apps
+
+import (
+	"fmt"
+
+	"spasm/internal/app"
+	"spasm/internal/mem"
+)
+
+// Synthetic microbenchmark workloads with precisely controllable
+// communication patterns.  They are not part of the paper's five-app
+// suite (and are deliberately not in the registry, so suite-wide
+// experiments are unaffected); they exist to validate the network models
+// against known traffic — uniform random (the assumption behind the
+// analytical models of Agarwal and Dally that the paper's section 2
+// contrasts with simulation), hot-spot (where those models break), and
+// nearest-neighbour (maximum communication locality, the g parameter's
+// worst case).
+
+// Pattern selects a microbenchmark traffic pattern.
+type Pattern int
+
+const (
+	// UniformPattern: every reference targets a uniformly random
+	// element of the shared array (any node, including self).
+	UniformPattern Pattern = iota
+	// HotSpotPattern: a fraction of references target one hot block;
+	// the rest are uniform.
+	HotSpotPattern
+	// NeighborPattern: every reference targets the ID-adjacent
+	// processor's partition.
+	NeighborPattern
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case UniformPattern:
+		return "uniform"
+	case HotSpotPattern:
+		return "hotspot"
+	case NeighborPattern:
+		return "neighbor"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// Micro is a synthetic traffic generator.
+type Micro struct {
+	Pattern Pattern
+	// Refs is the number of references each processor issues.
+	Refs int
+	// Think is the compute time in cycles between references,
+	// controlling offered load.
+	Think int64
+	// WritePct is the percentage of references that are writes.
+	WritePct int
+	// HotPct is the percentage of references hitting the hot block
+	// (HotSpotPattern only).
+	HotPct int
+	// Stride spaces consecutive targets (block units) so each
+	// reference misses; 0 means random (pattern-dependent).
+	Seed int64
+
+	arr    *mem.Array
+	hot    *mem.Array
+	issued []int
+}
+
+// NewMicro returns a microbenchmark at a reasonable default size.
+func NewMicro(pattern Pattern, refs int, think int64, seed int64) *Micro {
+	return &Micro{
+		Pattern:  pattern,
+		Refs:     refs,
+		Think:    think,
+		WritePct: 20,
+		HotPct:   25,
+		Seed:     seed,
+	}
+}
+
+// Name implements app.Program.
+func (m *Micro) Name() string { return "micro-" + m.Pattern.String() }
+
+// Setup allocates a large blocked array (so partition owners are
+// meaningful) and the hot block.
+func (m *Micro) Setup(c *app.Ctx) {
+	// 512 blocks per node, 4 elements per block: large enough that
+	// random references rarely hit in a 64 KB cache.
+	m.arr = c.Space.Alloc("micro.data", c.P*2048, 8, mem.Blocked)
+	m.hot = c.Space.AllocAt("micro.hot", 4, 8, 0)
+	m.issued = make([]int, c.P)
+}
+
+// Body implements app.Program.
+func (m *Micro) Body(p *app.Proc) {
+	rng := newRng(m.Seed*1000 + int64(p.ID))
+	P := p.Ctx.P
+	for i := 0; i < m.Refs; i++ {
+		p.Compute(m.Think)
+		var addr mem.Addr
+		switch {
+		case m.Pattern == HotSpotPattern && rng.Intn(100) < m.HotPct:
+			addr = m.hot.At(rng.Intn(m.hot.N))
+		case m.Pattern == NeighborPattern:
+			lo, hi := m.arr.OwnerRange((p.ID + 1) % P)
+			addr = m.arr.At(lo + rng.Intn(hi-lo))
+		default:
+			addr = m.arr.At(rng.Intn(m.arr.N))
+		}
+		if rng.Intn(100) < m.WritePct {
+			p.Write(addr)
+		} else {
+			p.Read(addr)
+		}
+		m.issued[p.ID]++
+	}
+}
+
+// Check verifies every processor issued its quota.
+func (m *Micro) Check() error {
+	for id, n := range m.issued {
+		if n != m.Refs {
+			return fmt.Errorf("micro: processor %d issued %d of %d references", id, n, m.Refs)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package cache
+
+import (
+	"testing"
+
+	"spasm/internal/mem"
+)
+
+// BenchmarkHit measures the lookup fast path on a resident block.
+func BenchmarkHit(b *testing.B) {
+	c := New(DefaultConfig())
+	c.Insert(42, UnOwned)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(42)
+	}
+}
+
+// BenchmarkMissFill measures the miss + insert path with evictions, over
+// a working set twice the cache size.
+func BenchmarkMissFill(b *testing.B) {
+	c := New(DefaultConfig())
+	sets := c.Config().Sets()
+	span := mem.Block(sets * c.Config().Assoc * 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := mem.Block(i*97) % span
+		if c.Access(blk) == Invalid {
+			c.Insert(blk, UnOwned)
+		}
+	}
+}
+
+// BenchmarkInvalidate measures the invalidation path.
+func BenchmarkInvalidate(b *testing.B) {
+	c := New(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		c.Insert(mem.Block(i%1024), OwnedExclusive)
+		c.Invalidate(mem.Block(i % 1024))
+	}
+}

@@ -1,0 +1,238 @@
+// Package cache implements the private per-node cache of the paper's
+// architectural characterization: 64 KB, 2-way set-associative, 32-byte
+// blocks, with the line states of the Berkeley ownership protocol.
+//
+// The same cache array serves both the target machine (where protocol
+// actions cost network messages) and the LogP+cache machine (where the
+// state machine is maintained but coherence actions are free), so the two
+// machines have *identical* hit/miss behaviour by construction — exactly
+// the property the paper's locality abstraction relies on.
+package cache
+
+import (
+	"fmt"
+
+	"spasm/internal/mem"
+)
+
+// State is a Berkeley-protocol cache-line state.
+type State uint8
+
+const (
+	// Invalid: the line holds no valid copy.
+	Invalid State = iota
+	// UnOwned (Berkeley "Valid"): a clean shared copy; memory or some
+	// owner holds the authoritative value.
+	UnOwned
+	// OwnedShared (Berkeley "Shared-Dirty"): this cache owns the
+	// block — it must supply data and write back on eviction — but
+	// other caches may hold UnOwned copies.
+	OwnedShared
+	// OwnedExclusive (Berkeley "Dirty"): this cache owns the only
+	// copy and may write without any coherence action.
+	OwnedExclusive
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case UnOwned:
+		return "V"
+	case OwnedShared:
+		return "SD"
+	case OwnedExclusive:
+		return "D"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Owned reports whether the state carries ownership (the obligation to
+// supply data and write back on eviction).
+func (s State) Owned() bool { return s == OwnedShared || s == OwnedExclusive }
+
+// Valid reports whether the state holds a readable copy.
+func (s State) Valid() bool { return s != Invalid }
+
+// Config describes cache geometry.
+type Config struct {
+	SizeBytes  int // total capacity
+	BlockBytes int // line size
+	Assoc      int // set associativity
+}
+
+// DefaultConfig is the paper's cache: 64 KB, 2-way, 32-byte blocks.
+func DefaultConfig() Config {
+	return Config{SizeBytes: 64 * 1024, BlockBytes: 32, Assoc: 2}
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / (c.BlockBytes * c.Assoc) }
+
+func (c Config) validate() {
+	if c.SizeBytes <= 0 || c.BlockBytes <= 0 || c.Assoc <= 0 {
+		panic(fmt.Sprintf("cache: non-positive geometry %+v", c))
+	}
+	sets := c.Sets()
+	if sets*c.BlockBytes*c.Assoc != c.SizeBytes {
+		panic(fmt.Sprintf("cache: size %d not divisible into %d-way sets of %d-byte blocks",
+			c.SizeBytes, c.Assoc, c.BlockBytes))
+	}
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: %d sets is not a power of two", sets))
+	}
+}
+
+type line struct {
+	block mem.Block
+	state State
+	used  uint64 // LRU timestamp
+}
+
+// Cache is one node's private cache.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	clock   uint64
+
+	// Statistics.
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// New returns an empty cache with the given geometry.
+func New(cfg Config) *Cache {
+	cfg.validate()
+	n := cfg.Sets()
+	c := &Cache{cfg: cfg, setMask: uint64(n - 1)}
+	c.sets = make([][]line, n)
+	backing := make([]line, n*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) set(b mem.Block) []line { return c.sets[uint64(b)&c.setMask] }
+
+func (c *Cache) find(b mem.Block) *line {
+	set := c.set(b)
+	for i := range set {
+		if set[i].state != Invalid && set[i].block == b {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// State returns the state of block b (Invalid if not cached).  It does
+// not touch LRU state.
+func (c *Cache) State(b mem.Block) State {
+	if l := c.find(b); l != nil {
+		return l.state
+	}
+	return Invalid
+}
+
+// Access looks up block b for a reference, updating LRU order and
+// hit/miss statistics.  It returns the current state (Invalid on a miss).
+func (c *Cache) Access(b mem.Block) State {
+	if l := c.find(b); l != nil {
+		c.clock++
+		l.used = c.clock
+		c.Hits++
+		return l.state
+	}
+	c.Misses++
+	return Invalid
+}
+
+// Victim describes a block displaced by Insert.
+type Victim struct {
+	Block mem.Block
+	State State
+}
+
+// Insert fills block b with the given state (which must be valid),
+// evicting the LRU line of the set if necessary.  It returns the evicted
+// block, if any.  Inserting a block that is already present panics:
+// callers must use SetState for state changes.
+func (c *Cache) Insert(b mem.Block, s State) (victim Victim, evicted bool) {
+	if s == Invalid {
+		panic("cache: Insert with Invalid state")
+	}
+	if c.find(b) != nil {
+		panic(fmt.Sprintf("cache: Insert of resident block %d", b))
+	}
+	set := c.set(b)
+	slot := -1
+	for i := range set {
+		if set[i].state == Invalid {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		slot = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].used < set[slot].used {
+				slot = i
+			}
+		}
+		victim = Victim{Block: set[slot].block, State: set[slot].state}
+		evicted = true
+		c.Evictions++
+	}
+	c.clock++
+	set[slot] = line{block: b, state: s, used: c.clock}
+	return victim, evicted
+}
+
+// SetState changes the state of a resident block; it panics if the block
+// is not resident or the new state is Invalid (use Invalidate).
+func (c *Cache) SetState(b mem.Block, s State) {
+	if s == Invalid {
+		panic("cache: SetState to Invalid; use Invalidate")
+	}
+	l := c.find(b)
+	if l == nil {
+		panic(fmt.Sprintf("cache: SetState of absent block %d", b))
+	}
+	l.state = s
+}
+
+// Invalidate removes block b, returning its previous state (Invalid if
+// it was not resident — invalidations of already-evicted blocks are
+// normal under a directory with stale sharer bits).
+func (c *Cache) Invalidate(b mem.Block) State {
+	l := c.find(b)
+	if l == nil {
+		return Invalid
+	}
+	s := l.state
+	l.state = Invalid
+	return s
+}
+
+// ForEach calls fn for every valid line, in set order.
+func (c *Cache) ForEach(fn func(b mem.Block, s State)) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].state != Invalid {
+				fn(set[i].block, set[i].state)
+			}
+		}
+	}
+}
+
+// Resident returns the number of valid lines.
+func (c *Cache) Resident() int {
+	n := 0
+	c.ForEach(func(mem.Block, State) { n++ })
+	return n
+}

@@ -1,0 +1,260 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spasm/internal/mem"
+)
+
+func TestDefaultGeometry(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Sets() != 1024 {
+		t.Errorf("default sets = %d, want 1024 (64KB / (32B * 2))", cfg.Sets())
+	}
+	c := New(cfg)
+	if c.Config() != cfg {
+		t.Error("Config() mismatch")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{0, 32, 2},
+		{64 * 1024, 0, 2},
+		{64 * 1024, 32, 0},
+		{100, 32, 2},         // not divisible
+		{96 * 32 * 2, 32, 2}, // 96 sets: not a power of two
+	} {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestStateHelpers(t *testing.T) {
+	if Invalid.Valid() || !UnOwned.Valid() {
+		t.Error("Valid() wrong")
+	}
+	if UnOwned.Owned() || !OwnedShared.Owned() || !OwnedExclusive.Owned() {
+		t.Error("Owned() wrong")
+	}
+	for s, want := range map[State]string{Invalid: "I", UnOwned: "V", OwnedShared: "SD", OwnedExclusive: "D"} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+	if State(9).String() == "" {
+		t.Error("unknown state string empty")
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := New(Config{SizeBytes: 256, BlockBytes: 32, Assoc: 2}) // 4 sets
+	if s := c.Access(5); s != Invalid {
+		t.Errorf("cold access = %v", s)
+	}
+	c.Insert(5, UnOwned)
+	if s := c.Access(5); s != UnOwned {
+		t.Errorf("after insert = %v", s)
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(Config{SizeBytes: 128, BlockBytes: 32, Assoc: 2}) // 2 sets
+	// Blocks 0, 2, 4 all map to set 0.
+	c.Insert(0, UnOwned)
+	c.Insert(2, UnOwned)
+	c.Access(0) // 0 is now MRU; 2 is LRU
+	v, ev := c.Insert(4, UnOwned)
+	if !ev || v.Block != 2 {
+		t.Errorf("evicted %+v (ev=%v), want block 2", v, ev)
+	}
+	if c.State(0) != UnOwned || c.State(2) != Invalid || c.State(4) != UnOwned {
+		t.Error("post-eviction states wrong")
+	}
+	if c.Evictions != 1 {
+		t.Errorf("evictions = %d", c.Evictions)
+	}
+}
+
+func TestInsertPrefersInvalidSlot(t *testing.T) {
+	c := New(Config{SizeBytes: 128, BlockBytes: 32, Assoc: 2})
+	c.Insert(0, UnOwned)
+	c.Insert(2, OwnedExclusive)
+	c.Invalidate(0)
+	if _, ev := c.Insert(4, UnOwned); ev {
+		t.Error("evicted despite an invalid slot")
+	}
+	if c.State(2) != OwnedExclusive {
+		t.Error("resident line disturbed")
+	}
+}
+
+func TestVictimStateReported(t *testing.T) {
+	c := New(Config{SizeBytes: 128, BlockBytes: 32, Assoc: 2})
+	c.Insert(0, OwnedExclusive)
+	c.Insert(2, UnOwned)
+	c.Access(2) // make 0 the LRU
+	v, ev := c.Insert(4, UnOwned)
+	if !ev || v.State != OwnedExclusive || v.Block != 0 {
+		t.Errorf("victim = %+v", v)
+	}
+}
+
+func TestSetStateAndInvalidate(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Insert(7, UnOwned)
+	c.SetState(7, OwnedExclusive)
+	if c.State(7) != OwnedExclusive {
+		t.Error("SetState ineffective")
+	}
+	if s := c.Invalidate(7); s != OwnedExclusive {
+		t.Errorf("Invalidate returned %v", s)
+	}
+	if s := c.Invalidate(7); s != Invalid {
+		t.Errorf("double Invalidate returned %v", s)
+	}
+	if c.State(7) != Invalid {
+		t.Error("block still resident")
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Insert(1, UnOwned)
+	for _, f := range []func(){
+		func() { c.Insert(1, UnOwned) },    // duplicate insert
+		func() { c.Insert(2, Invalid) },    // invalid insert
+		func() { c.SetState(99, UnOwned) }, // absent block
+		func() { c.SetState(1, Invalid) },  // invalid via SetState
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAccessDoesNotAllocate(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Access(42)
+	if c.Resident() != 0 {
+		t.Error("Access allocated a line")
+	}
+}
+
+func TestStateDoesNotTouchLRU(t *testing.T) {
+	c := New(Config{SizeBytes: 128, BlockBytes: 32, Assoc: 2})
+	c.Insert(0, UnOwned)
+	c.Insert(2, UnOwned) // 0 is LRU
+	c.State(0)           // must NOT promote 0
+	v, _ := c.Insert(4, UnOwned)
+	if v.Block != 0 {
+		t.Errorf("State() touched LRU: victim %d", v.Block)
+	}
+}
+
+func TestForEachAndResident(t *testing.T) {
+	c := New(DefaultConfig())
+	blocks := []mem.Block{1, 2, 3, 7} // distinct sets: no evictions
+	for _, b := range blocks {
+		c.Insert(b, UnOwned)
+	}
+	seen := map[mem.Block]bool{}
+	c.ForEach(func(b mem.Block, s State) { seen[b] = true })
+	if len(seen) != len(blocks) || c.Resident() != len(blocks) {
+		t.Errorf("seen %v, resident %d", seen, c.Resident())
+	}
+}
+
+// Property: a cache never holds two copies of the same block, never
+// exceeds its associativity per set, and hits+misses equals accesses.
+func TestCacheInvariantsProperty(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{SizeBytes: 512, BlockBytes: 32, Assoc: 2} // 8 sets
+		c := New(cfg)
+		accesses := uint64(0)
+		for _, op := range ops {
+			b := mem.Block(op % 64)
+			switch rng.Intn(4) {
+			case 0:
+				accesses++
+				if c.Access(b) == Invalid {
+					c.Insert(b, UnOwned)
+				}
+			case 1:
+				accesses++
+				switch c.Access(b) {
+				case Invalid:
+					c.Insert(b, OwnedExclusive)
+				default:
+					c.SetState(b, OwnedExclusive)
+				}
+			case 2:
+				c.Invalidate(b)
+			default:
+				accesses++
+				c.Access(b)
+			}
+			// Invariant: no duplicate blocks.
+			count := map[mem.Block]int{}
+			c.ForEach(func(bb mem.Block, _ State) { count[bb]++ })
+			for _, n := range count {
+				if n > 1 {
+					return false
+				}
+			}
+			// Invariant: per-set occupancy <= associativity.
+			perSet := map[uint64]int{}
+			c.ForEach(func(bb mem.Block, _ State) { perSet[uint64(bb)%8]++ })
+			for _, n := range perSet {
+				if n > cfg.Assoc {
+					return false
+				}
+			}
+		}
+		return c.Hits+c.Misses == accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: blocks mapping to different sets never evict each other.
+func TestSetIsolationProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		c := New(Config{SizeBytes: 512, BlockBytes: 32, Assoc: 2})
+		// Fill set 0 with blocks 0 and 8.
+		c.Insert(0, UnOwned)
+		c.Insert(8, UnOwned)
+		for _, r := range raw {
+			b := mem.Block(r%64 | 1) // odd blocks: never set 0 (8 sets)
+			if uint64(b)%8 == 0 {
+				continue
+			}
+			if c.State(b) == Invalid {
+				c.Insert(b, UnOwned)
+			}
+		}
+		return c.State(0) == UnOwned && c.State(8) == UnOwned
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

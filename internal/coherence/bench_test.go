@@ -1,0 +1,78 @@
+package coherence
+
+import (
+	"testing"
+
+	"spasm/internal/cache"
+	"spasm/internal/mem"
+	"spasm/internal/sim"
+	"spasm/internal/stats"
+)
+
+// BenchmarkReadMissRemote measures a full directory read transaction
+// (request + memory + data reply) through the engine.
+func BenchmarkReadMissRemote(b *testing.B) {
+	tr := &flatTransport{delay: 100}
+	space := mem.NewSpace(8, 32)
+	arr := space.Alloc("x", 1<<16, 8, mem.Blocked)
+	eng := NewEngine(space, cache.DefaultConfig(), DefaultCosts(), tr)
+	e := sim.NewEngine()
+	run := stats.NewRun(8)
+	e.Spawn("driver", func(p *sim.Proc) {
+		lo, hi := arr.OwnerRange(5)
+		span := hi - lo
+		for i := 0; i < b.N; i++ {
+			// Stride by a block so every access misses.
+			idx := lo + (i*4)%span
+			eng.Read(p, &run.Procs[0], 0, arr.At(idx))
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWriteUpgrade measures the invalidation path: two sharers, one
+// upgrades, re-share, repeat.
+func BenchmarkWriteUpgrade(b *testing.B) {
+	tr := &flatTransport{delay: 100}
+	space := mem.NewSpace(4, 32)
+	arr := space.Alloc("x", 64, 8, mem.Blocked)
+	eng := NewEngine(space, cache.DefaultConfig(), DefaultCosts(), tr)
+	e := sim.NewEngine()
+	run := stats.NewRun(4)
+	e.Spawn("driver", func(p *sim.Proc) {
+		a := arr.At(0)
+		for i := 0; i < b.N; i++ {
+			eng.Read(p, &run.Procs[1], 1, a)
+			eng.Read(p, &run.Procs[2], 2, a)
+			eng.Write(p, &run.Procs[1], 1, a) // invalidates 2
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkHitPath measures the cache-hit fast path through the engine.
+func BenchmarkHitPath(b *testing.B) {
+	tr := &flatTransport{delay: 100}
+	space := mem.NewSpace(4, 32)
+	arr := space.Alloc("x", 64, 8, mem.Blocked)
+	eng := NewEngine(space, cache.DefaultConfig(), DefaultCosts(), tr)
+	e := sim.NewEngine()
+	run := stats.NewRun(4)
+	e.Spawn("driver", func(p *sim.Proc) {
+		a := arr.At(0)
+		eng.Read(p, &run.Procs[0], 0, a)
+		for i := 0; i < b.N; i++ {
+			eng.Read(p, &run.Procs[0], 0, a)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

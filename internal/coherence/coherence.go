@@ -1,0 +1,656 @@
+// Package coherence implements a sequentially consistent, fully-mapped,
+// directory-based Berkeley (ownership) invalidation protocol over the
+// private caches of a CC-NUMA machine.
+//
+// The same protocol engine drives both machine characterizations that
+// have caches:
+//
+//   - The *target* machine prices every protocol message (requests,
+//     forwards, data replies, invalidations, acks, grants, writebacks)
+//     on the detailed network fabric.
+//   - The *LogP+cache* machine maintains exactly the same cache and
+//     directory state machine but prices only the messages that move
+//     data the requester could not obtain locally; coherence-maintenance
+//     messages are free.  This realizes the paper's "ideal coherent
+//     cache": the minimum network traffic any invalidation protocol
+//     could hope to achieve.
+//
+// Sharing one engine guarantees the two machines have identical hit/miss
+// and invalidation behaviour, which is the premise of the paper's
+// locality-abstraction comparison.
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+
+	"spasm/internal/cache"
+	"spasm/internal/mem"
+	"spasm/internal/sim"
+	"spasm/internal/stats"
+)
+
+// Class labels a protocol message for transport pricing.
+type Class int
+
+const (
+	// ReadReq asks the home node for a readable copy (data will flow).
+	ReadReq Class = iota
+	// WriteReq asks the home node for an exclusive copy (data will flow).
+	WriteReq
+	// UpgradeReq asks for ownership of a block already cached
+	// (no data flows — pure coherence).
+	UpgradeReq
+	// Forward relays a request from the home node to the current owner.
+	Forward
+	// DataReply carries a cache block to the requester.
+	DataReply
+	// Inval invalidates a sharer's copy (pure coherence).
+	Inval
+	// InvalAck acknowledges an invalidation (pure coherence).
+	InvalAck
+	// Grant tells the requester all invalidations completed
+	// (pure coherence).
+	Grant
+	// Nack tells the home node a forwarded request missed (the owner
+	// evicted the block while the forward was in flight).
+	Nack
+	// UpdateMsg carries a written value to a sharer under the
+	// write-update protocol (pure coherence: the sharer's copy stays
+	// valid).
+	UpdateMsg
+	// Writeback flushes an owned victim block to its home memory
+	// (pure coherence: any protocol must preserve the data, but it is
+	// not a response to a memory request).
+	Writeback
+)
+
+var classNames = [...]string{
+	"read-req", "write-req", "upgrade-req", "forward", "data-reply",
+	"inval", "inval-ack", "grant", "nack", "update", "writeback",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// MovesData reports whether the message class is part of satisfying a
+// memory request with remote data (as opposed to pure coherence
+// maintenance).  The LogP+cache transport prices exactly these classes.
+func (c Class) MovesData() bool {
+	switch c {
+	case ReadReq, WriteReq, Forward, DataReply:
+		return true
+	}
+	return false
+}
+
+// Delivery is the transport's schedule for one protocol message.
+type Delivery struct {
+	At      sim.Time // when the message is available at the destination
+	Latency sim.Time // contention-free transmission component
+	Wait    sim.Time // contention component
+	Sent    bool     // false if the transport absorbed the message for free
+}
+
+// Transport prices protocol messages.  Implementations must be
+// monotone: At >= now.
+type Transport interface {
+	Message(now sim.Time, src, dst, bytes int, class Class) Delivery
+}
+
+// Costs carries the non-network cost parameters of the memory system.
+type Costs struct {
+	// CacheHit is the time to satisfy a reference from the cache.
+	CacheHit sim.Time
+	// Mem is the home-node DRAM access time for a block.
+	Mem sim.Time
+	// CtrlBytes is the size of a control message (requests, invals,
+	// acks, grants, nacks).
+	CtrlBytes int
+	// DataBytes is the size of a data message: a full cache block plus
+	// header, capped at the paper's 32-byte maximum message size.
+	DataBytes int
+}
+
+// DefaultCosts returns the study's cost parameters: 1-cycle cache hits,
+// 10-cycle (300 ns) DRAM, 8-byte control and 32-byte data messages.
+func DefaultCosts() Costs {
+	return Costs{
+		CacheHit:  sim.Cycles(1),
+		Mem:       sim.Cycles(10),
+		CtrlBytes: 8,
+		DataBytes: 32,
+	}
+}
+
+// entry is a fully-mapped directory entry.
+type entry struct {
+	owner   int    // cache owning the block (-1: memory is current)
+	sharers uint64 // bit per node that may hold a copy (includes owner)
+}
+
+// Engine is the coherence engine over P caches and their home memories.
+type Engine struct {
+	space  *mem.Space
+	caches []*cache.Cache
+	costs  Costs
+	tr     Transport
+
+	// Protocol selects the coherence protocol variant (Berkeley by
+	// default, the paper's target).  Set it before the first access.
+	Protocol Protocol
+
+	dir   map[mem.Block]*entry
+	locks map[mem.Block]*sim.Lock
+
+	// Transactions counts misses serviced (reads + writes + upgrades).
+	Transactions uint64
+}
+
+// NewEngine builds a coherence engine: one cache per node with the given
+// geometry, directories at each block's home node, and the given message
+// transport.
+func NewEngine(space *mem.Space, cacheCfg cache.Config, costs Costs, tr Transport) *Engine {
+	if space.P() > 64 {
+		panic("coherence: more than 64 nodes (directory bit-vector is uint64)")
+	}
+	if cacheCfg.BlockBytes != space.BlockBytes() {
+		panic(fmt.Sprintf("coherence: cache block %dB != space block %dB",
+			cacheCfg.BlockBytes, space.BlockBytes()))
+	}
+	e := &Engine{
+		space: space,
+		costs: costs,
+		tr:    tr,
+		dir:   make(map[mem.Block]*entry),
+		locks: make(map[mem.Block]*sim.Lock),
+	}
+	for i := 0; i < space.P(); i++ {
+		e.caches = append(e.caches, cache.New(cacheCfg))
+	}
+	return e
+}
+
+// Cache returns node n's cache (exposed for tests and statistics).
+func (e *Engine) Cache(n int) *cache.Cache { return e.caches[n] }
+
+func (e *Engine) entryFor(b mem.Block) *entry {
+	en, ok := e.dir[b]
+	if !ok {
+		en = &entry{owner: -1}
+		e.dir[b] = en
+	}
+	return en
+}
+
+func (e *Engine) lockFor(b mem.Block) *sim.Lock {
+	l, ok := e.locks[b]
+	if !ok {
+		l = &sim.Lock{}
+		e.locks[b] = l
+	}
+	return l
+}
+
+// send prices one message and accumulates its overheads into st.
+func (e *Engine) send(st *stats.Proc, now sim.Time, src, dst, bytes int, class Class) sim.Time {
+	d := e.tr.Message(now, src, dst, bytes, class)
+	if d.Sent {
+		st.Messages++
+		st.NetBytes += uint64(bytes)
+		st.Add(stats.Latency, d.Latency)
+		st.Add(stats.Contention, d.Wait)
+	}
+	return d.At
+}
+
+// Read performs a shared-memory read by node n at addr on behalf of
+// process p, blocking p for the full (sequentially consistent) duration.
+func (e *Engine) Read(p *sim.Proc, st *stats.Proc, n int, addr mem.Addr) {
+	st.Reads++
+	b := e.space.BlockOf(addr)
+	c := e.caches[n]
+	if c.Access(b).Valid() {
+		st.Hits++
+		st.Add(stats.Memory, e.costs.CacheHit)
+		p.Defer(e.costs.CacheHit)
+		return
+	}
+	st.Misses++
+	e.miss(p, st, n, b, false)
+}
+
+// Write performs a shared-memory write by node n at addr on behalf of
+// process p.  Sequential consistency: p blocks until every stale copy
+// has been invalidated and acknowledged.
+func (e *Engine) Write(p *sim.Proc, st *stats.Proc, n int, addr mem.Addr) {
+	st.Writes++
+	b := e.space.BlockOf(addr)
+	c := e.caches[n]
+	s := c.Access(b)
+	if s == cache.OwnedExclusive {
+		st.Hits++
+		st.Add(stats.Memory, e.costs.CacheHit)
+		p.Defer(e.costs.CacheHit)
+		return
+	}
+	if s.Valid() {
+		st.Hits++ // data present; ownership must still be acquired
+		if e.Protocol == Update {
+			e.updateWrite(p, st, n, b)
+		} else {
+			e.upgrade(p, st, n, b)
+		}
+		return
+	}
+	st.Misses++
+	if e.Protocol == Update {
+		// Write-allocate under write-update: fetch a shared copy,
+		// then propagate the write like a hit.
+		e.miss(p, st, n, b, false)
+		e.updateWrite(p, st, n, b)
+		return
+	}
+	e.miss(p, st, n, b, true)
+}
+
+// miss services a read or write miss: obtain the block (from the owner's
+// cache or home memory), for writes invalidate all other copies, fill the
+// requester's cache, and update the directory.
+func (e *Engine) miss(p *sim.Proc, st *stats.Proc, r int, b mem.Block, write bool) {
+	lk := e.lockFor(b)
+	if w := lk.Acquire(p); w > 0 {
+		st.Add(stats.Contention, w) // directory serialization
+	}
+	defer lk.Release(p)
+	e.Transactions++
+
+	en := e.entryFor(b)
+	h := e.space.Home(e.space.BlockBase(b))
+	now := p.Now()
+	msgs0 := st.Messages
+
+	// Request leg to the home node.
+	t := now
+	if h != r {
+		class := ReadReq
+		if write {
+			class = WriteReq
+		}
+		t = e.send(st, t, r, h, e.costs.CtrlBytes, class)
+	}
+
+	// Data leg: from the owning cache if one exists, else home memory.
+	var tData sim.Time
+	o := en.owner
+	if o >= 0 && o != r && e.caches[o].State(b).Owned() {
+		switch e.Protocol {
+		case MSI, Update:
+			// Update also uses memory-current semantics: the dirty
+			// (sole-copy) owner writes back and keeps a clean copy.
+			tData = e.msiOwnerSupply(st, t, h, o, r, b, en, write)
+		default:
+			tData = e.berkeleyOwnerSupply(st, t, h, o, r, b, write)
+		}
+	} else {
+		tData = e.memSupply(st, t, h, r)
+	}
+
+	// For writes, invalidate every other copy; the write completes only
+	// after all acknowledgements (sequential consistency).
+	tDone := tData
+	if write {
+		tAcks := e.invalidateSharers(st, t, h, r, b, en)
+		if tAcks > t {
+			// The home confirms completion once acks are in.
+			if h != r {
+				g := e.send(st, tAcks, h, r, e.costs.CtrlBytes, Grant)
+				if g > tDone {
+					tDone = g
+				}
+			} else if tAcks > tDone {
+				tDone = tAcks
+			}
+		}
+	}
+
+	// Fill the requester's cache, writing back any displaced owned block.
+	fill := cache.UnOwned
+	if write {
+		fill = cache.OwnedExclusive
+	}
+	tDone = e.fill(st, tDone, r, b, fill)
+
+	// Directory update.
+	if write {
+		en.owner = r
+		en.sharers = 1 << uint(r)
+	} else {
+		en.sharers |= 1 << uint(r)
+	}
+
+	if st.Messages > msgs0 {
+		st.NetAccesses++
+	}
+	p.HoldUntil(tDone)
+}
+
+// upgrade services a write to a block the requester already caches in a
+// non-exclusive state: pure coherence, no data movement.
+func (e *Engine) upgrade(p *sim.Proc, st *stats.Proc, r int, b mem.Block) {
+	lk := e.lockFor(b)
+	if w := lk.Acquire(p); w > 0 {
+		st.Add(stats.Contention, w)
+	}
+	defer lk.Release(p)
+	e.Transactions++
+
+	// The block may have been invalidated while we waited for the
+	// directory: restart as a write miss (still under the lock).
+	if !e.caches[r].State(b).Valid() {
+		lk.Release(p)
+		e.miss(p, st, r, b, true)
+		lk.Acquire(p)
+		return
+	}
+
+	en := e.entryFor(b)
+	h := e.space.Home(e.space.BlockBase(b))
+	now := p.Now()
+	msgs0 := st.Messages
+
+	t := now
+	if h != r {
+		t = e.send(st, t, r, h, e.costs.CtrlBytes, UpgradeReq)
+	}
+	tDone := t
+	tAcks := e.invalidateSharers(st, t, h, r, b, en)
+	if tAcks > t && h != r {
+		tDone = e.send(st, tAcks, h, r, e.costs.CtrlBytes, Grant)
+	} else if tAcks > tDone {
+		tDone = tAcks
+	}
+
+	e.caches[r].SetState(b, cache.OwnedExclusive)
+	en.owner = r
+	en.sharers = 1 << uint(r)
+
+	if st.Messages > msgs0 {
+		st.NetAccesses++
+	}
+	st.Add(stats.Memory, e.costs.CacheHit)
+	tDone += e.costs.CacheHit
+	p.HoldUntil(tDone)
+}
+
+// updateWrite services a write to a valid block under the write-update
+// protocol.  With no other sharers the writer takes silent-at-the-cache
+// exclusive ownership (one control round trip to the directory); with
+// sharers the write is pushed through the home to every copy, which all
+// stay valid — no one ever re-misses on this block, the protocol's
+// defining property.
+func (e *Engine) updateWrite(p *sim.Proc, st *stats.Proc, r int, b mem.Block) {
+	lk := e.lockFor(b)
+	if w := lk.Acquire(p); w > 0 {
+		st.Add(stats.Contention, w)
+	}
+	defer lk.Release(p)
+	e.Transactions++
+
+	// The copy may have vanished while waiting (capacity eviction by
+	// our own earlier transactions cannot happen here, but keep the
+	// defensive re-check symmetrical with upgrade).
+	if !e.caches[r].State(b).Valid() {
+		lk.Release(p)
+		e.miss(p, st, r, b, false)
+		lk.Acquire(p)
+	}
+	e.updateWriteLocked(p, st, r, b)
+}
+
+// updateWriteLocked is updateWrite's body; the caller holds the block
+// lock or accepts a fresh acquisition.
+func (e *Engine) updateWriteLocked(p *sim.Proc, st *stats.Proc, r int, b mem.Block) {
+	en := e.entryFor(b)
+	h := e.space.Home(e.space.BlockBase(b))
+	now := p.Now()
+	msgs0 := st.Messages
+
+	others := en.sharers &^ (1 << uint(r))
+	t := now
+	if others == 0 {
+		// Sole copy: become exclusive after a directory round trip.
+		if h != r {
+			t = e.send(st, t, r, h, e.costs.CtrlBytes, UpgradeReq)
+			t = e.send(st, t, h, r, e.costs.CtrlBytes, Grant)
+		}
+		if e.caches[r].State(b) != cache.OwnedExclusive {
+			e.caches[r].SetState(b, cache.OwnedExclusive)
+		}
+		en.owner = r
+		en.sharers = 1 << uint(r)
+	} else {
+		// Write through to the home, then push the value to every
+		// other sharer; all copies stay valid and memory is current.
+		if h != r {
+			t = e.send(st, t, r, h, e.costs.DataBytes, UpdateMsg)
+		}
+		st.Add(stats.Memory, e.costs.Mem)
+		t += e.costs.Mem
+		tAcks := t
+		rest := others
+		for rest != 0 {
+			s := bits.TrailingZeros64(rest)
+			rest &^= 1 << uint(s)
+			if s == h {
+				continue // the home's own cache is updated in place
+			}
+			if !e.caches[s].State(b).Valid() {
+				// Stale sharer bit (silent eviction): clean it up.
+				en.sharers &^= 1 << uint(s)
+				continue
+			}
+			tu := e.send(st, tAcks, h, s, e.costs.DataBytes, UpdateMsg)
+			tAcks = e.send(st, tu, s, h, e.costs.CtrlBytes, InvalAck)
+		}
+		if tAcks > t {
+			t = tAcks
+		}
+		if h != r && t > now {
+			t = e.send(st, t, h, r, e.costs.CtrlBytes, Grant)
+		}
+		// The writer's copy stays a clean shared copy; memory owns.
+		if e.caches[r].State(b) != cache.UnOwned {
+			e.caches[r].SetState(b, cache.UnOwned)
+		}
+		en.owner = -1
+	}
+
+	if st.Messages > msgs0 {
+		st.NetAccesses++
+	}
+	st.Add(stats.Memory, e.costs.CacheHit)
+	t += e.costs.CacheHit
+	p.HoldUntil(t)
+}
+
+// invalidateSharers sends invalidations from the home node to every
+// sharer except the requester, sequentially (a blocking home
+// controller), and returns the time the last acknowledgement reaches the
+// home node.  Caches are invalidated as the messages arrive.
+func (e *Engine) invalidateSharers(st *stats.Proc, t sim.Time, h, r int, b mem.Block, en *entry) sim.Time {
+	tAcks := t
+	rest := en.sharers &^ (1 << uint(r))
+	for rest != 0 {
+		s := bits.TrailingZeros64(rest)
+		rest &^= 1 << uint(s)
+		if s == h {
+			// The home's own cache: invalidate locally, no traffic.
+			e.caches[s].Invalidate(b)
+			continue
+		}
+		ti := e.send(st, tAcks, h, s, e.costs.CtrlBytes, Inval)
+		if e.caches[s].Invalidate(b).Valid() {
+			st.Invals++
+		}
+		tAcks = e.send(st, ti, s, h, e.costs.CtrlBytes, InvalAck)
+	}
+	return tAcks
+}
+
+// berkeleyOwnerSupply models the Berkeley data leg: the owning cache
+// supplies the block directly to the requester (forwarded via the home
+// when the owner is a third node) and, on a read, keeps ownership in the
+// shared-dirty state.  Memory is not updated.
+func (e *Engine) berkeleyOwnerSupply(st *stats.Proc, t sim.Time, h, o, r int, b mem.Block, write bool) sim.Time {
+	var tData sim.Time
+	if o == h {
+		// The home node's own cache owns the block.
+		tData = t
+		if r != h {
+			tData = e.send(st, t, h, r, e.costs.DataBytes, DataReply)
+		}
+	} else {
+		tf := e.send(st, t, h, o, e.costs.CtrlBytes, Forward)
+		if e.caches[o].State(b).Owned() {
+			tData = e.send(st, tf, o, r, e.costs.DataBytes, DataReply)
+		} else {
+			// The owner evicted the block while the forward was
+			// in flight; it nacks and memory (now current after
+			// the racing writeback) supplies.
+			tn := e.send(st, tf, o, h, e.costs.CtrlBytes, Nack)
+			return e.memSupply(st, tn, h, r)
+		}
+	}
+	if !write {
+		// Berkeley: the supplier keeps ownership, demoted to
+		// shared-dirty.
+		if e.caches[o].State(b) == cache.OwnedExclusive {
+			e.caches[o].SetState(b, cache.OwnedShared)
+		}
+	}
+	return tData
+}
+
+// msiOwnerSupply models the MSI data leg: the dirty owner writes the
+// block back to its home (fetch or fetch-invalidate), memory becomes
+// current, and the home supplies the requester.  On a read the previous
+// owner keeps a clean shared copy; on a write it is invalidated here
+// (and its sharer bit cleared so the invalidation loop skips it).
+func (e *Engine) msiOwnerSupply(st *stats.Proc, t sim.Time, h, o, r int, b mem.Block, en *entry, write bool) sim.Time {
+	if o != h {
+		tf := e.send(st, t, h, o, e.costs.CtrlBytes, Forward)
+		if e.caches[o].State(b).Owned() {
+			t = e.send(st, tf, o, h, e.costs.DataBytes, Writeback)
+			st.Writebacks++
+		} else {
+			// Raced with the owner's eviction writeback.
+			t = e.send(st, tf, o, h, e.costs.CtrlBytes, Nack)
+		}
+	}
+	if e.caches[o].State(b).Owned() {
+		if write {
+			e.caches[o].Invalidate(b)
+			en.sharers &^= 1 << uint(o)
+			st.Invals++
+		} else {
+			e.caches[o].SetState(b, cache.UnOwned)
+		}
+	}
+	en.owner = -1 // memory is current from here on
+	return e.memSupply(st, t, h, r)
+}
+
+// memSupply models the home memory providing the block: a DRAM access at
+// the home plus a data reply if the requester is remote.
+func (e *Engine) memSupply(st *stats.Proc, t sim.Time, h, r int) sim.Time {
+	st.Add(stats.Memory, e.costs.Mem)
+	t += e.costs.Mem
+	if h == r {
+		return t
+	}
+	return e.send(st, t, h, r, e.costs.DataBytes, DataReply)
+}
+
+// fill inserts block b into cache r, handling victim writeback, and
+// returns the completion time.
+func (e *Engine) fill(st *stats.Proc, t sim.Time, r int, b mem.Block, s cache.State) sim.Time {
+	v, evicted := e.caches[r].Insert(b, s)
+	if !evicted {
+		return t
+	}
+	ven := e.entryFor(v.Block)
+	ven.sharers &^= 1 << uint(r)
+	if !v.State.Owned() {
+		return t // clean victim: silent drop
+	}
+	// Owned victim: write the data back to its home memory.
+	st.Writebacks++
+	if ven.owner == r {
+		ven.owner = -1 // memory becomes current
+	}
+	vh := e.space.Home(e.space.BlockBase(v.Block))
+	if vh != r {
+		t = e.send(st, t, r, vh, e.costs.DataBytes, Writeback)
+	}
+	st.Add(stats.Memory, e.costs.Mem)
+	return t + e.costs.Mem
+}
+
+// CheckInvariants verifies directory/cache consistency; tests call it
+// after runs.  It returns the first violation found, or nil.
+func (e *Engine) CheckInvariants() error {
+	// 1. At most one cache holds a block in an owned state, and the
+	//    directory's owner field matches it.
+	owners := map[mem.Block]int{}
+	for n, c := range e.caches {
+		var err error
+		n := n
+		c.ForEach(func(b mem.Block, s cache.State) {
+			if err != nil {
+				return
+			}
+			if s.Owned() {
+				if prev, dup := owners[b]; dup {
+					err = fmt.Errorf("block %d owned by caches %d and %d", b, prev, n)
+					return
+				}
+				owners[b] = n
+				if en := e.dir[b]; en == nil || en.owner != n {
+					err = fmt.Errorf("block %d owned by cache %d but directory disagrees", b, n)
+					return
+				}
+			}
+			// 2. Every valid copy is covered by a directory sharer bit.
+			if en := e.dir[b]; en == nil || en.sharers&(1<<uint(n)) == 0 {
+				err = fmt.Errorf("cache %d holds block %d without a directory sharer bit", n, b)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// 3. An exclusively owned block has no other valid copies.
+	for b, o := range owners {
+		if e.caches[o].State(b) != cache.OwnedExclusive {
+			continue
+		}
+		for n, c := range e.caches {
+			if n != o && c.State(b).Valid() {
+				return fmt.Errorf("block %d exclusive at %d but also valid at %d", b, o, n)
+			}
+		}
+	}
+	// 4. Directory owner fields point at caches that really own.
+	for b, en := range e.dir {
+		if en.owner >= 0 && !e.caches[en.owner].State(b).Owned() {
+			return fmt.Errorf("directory says %d owns block %d but its cache state is %v",
+				en.owner, b, e.caches[en.owner].State(b))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"math"
+
+	"spasm/internal/machine"
+)
+
+// AccuracyRow summarizes one figure's abstraction error: how far each
+// abstract machine's curve sits from the target machine's, measured as
+// the geometric mean over the sweep of the per-point ratio
+// abstraction/target.  A value of 1.0 is perfect; above 1 the
+// abstraction is pessimistic, below 1 optimistic.  TrendAgrees reports
+// whether the abstraction's curve moves in the same direction as the
+// target's between every pair of consecutive sweep points — the paper's
+// notion of "displaying a similar trend (shape of the curve)".
+type AccuracyRow struct {
+	Figure     Figure
+	CLogPRatio float64
+	LogPRatio  float64
+	CLogPTrend bool
+	LogPTrend  bool
+}
+
+// Accuracy computes the abstraction-error summary for a set of
+// regenerated figures.
+func Accuracy(frs []*FigureResult) []AccuracyRow {
+	var out []AccuracyRow
+	for _, fr := range frs {
+		row := AccuracyRow{Figure: fr.Figure}
+		target := seriesOf(fr, machine.Target)
+		if target == nil {
+			continue
+		}
+		if s := seriesOf(fr, machine.CLogP); s != nil {
+			row.CLogPRatio = geoMeanRatio(s, target)
+			row.CLogPTrend = trendAgrees(s, target)
+		}
+		if s := seriesOf(fr, machine.LogP); s != nil {
+			row.LogPRatio = geoMeanRatio(s, target)
+			row.LogPTrend = trendAgrees(s, target)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// AccuracySummary aggregates rows into one verdict per machine and
+// metric class.
+type AccuracySummary struct {
+	Metric Metric
+	// Figures counted.
+	N int
+	// Mean of the per-figure geometric-mean ratios.
+	CLogPRatio float64
+	LogPRatio  float64
+	// Fraction of figures whose trend agrees with the target.
+	CLogPTrendPct float64
+	LogPTrendPct  float64
+}
+
+// Summarize groups accuracy rows by metric.
+func Summarize(rows []AccuracyRow) []AccuracySummary {
+	var out []AccuracySummary
+	for _, m := range []Metric{LatencyOvh, ContentionOvh, ExecTime} {
+		s := AccuracySummary{Metric: m}
+		var cSum, lSum float64
+		var cTrend, lTrend int
+		for _, r := range rows {
+			if r.Figure.Metric != m {
+				continue
+			}
+			s.N++
+			cSum += math.Log(r.CLogPRatio)
+			lSum += math.Log(r.LogPRatio)
+			if r.CLogPTrend {
+				cTrend++
+			}
+			if r.LogPTrend {
+				lTrend++
+			}
+		}
+		if s.N == 0 {
+			continue
+		}
+		s.CLogPRatio = math.Exp(cSum / float64(s.N))
+		s.LogPRatio = math.Exp(lSum / float64(s.N))
+		s.CLogPTrendPct = 100 * float64(cTrend) / float64(s.N)
+		s.LogPTrendPct = 100 * float64(lTrend) / float64(s.N)
+		out = append(out, s)
+	}
+	return out
+}
+
+func seriesOf(fr *FigureResult, kind machine.Kind) *Series {
+	for i := range fr.Series {
+		if fr.Series[i].Machine == kind {
+			return &fr.Series[i]
+		}
+	}
+	return nil
+}
+
+// geoMeanRatio returns exp(mean(log(a_i/b_i))) over sweep points where
+// both values are positive.
+func geoMeanRatio(a, b *Series) float64 {
+	var sum float64
+	n := 0
+	for i := range a.Points {
+		av, bv := a.Points[i].Value, b.Points[i].Value
+		if av > 0 && bv > 0 {
+			sum += math.Log(av / bv)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// trendFlatTol is the relative change below which a segment counts as
+// flat: flat segments agree with any direction, so a near-level stretch
+// of one curve does not spuriously contradict the other.
+const trendFlatTol = 0.05
+
+// trendAgrees reports whether both curves move in the same direction
+// between every pair of consecutive sweep points, treating sub-5%%
+// relative moves as flat.
+func trendAgrees(a, b *Series) bool {
+	for i := 1; i < len(a.Points); i++ {
+		da := relDelta(a.Points[i-1].Value, a.Points[i].Value)
+		db := relDelta(b.Points[i-1].Value, b.Points[i].Value)
+		if math.Abs(da) < trendFlatTol || math.Abs(db) < trendFlatTol {
+			continue
+		}
+		if da*db < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func relDelta(prev, cur float64) float64 {
+	if prev == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (cur - prev) / prev
+}

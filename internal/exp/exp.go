@@ -1,0 +1,371 @@
+// Package exp defines the paper's experiments — one entry per figure of
+// the evaluation section, plus the section-7 ablation and the
+// simulation-cost comparison — and runs the processor sweeps that
+// regenerate them.
+//
+// A Session caches runs, because one (application, topology, machine, P)
+// simulation feeds several figures (e.g. IS on the full network appears
+// in the latency, contention and execution-time figures).
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"spasm/internal/app"
+	"spasm/internal/apps"
+	"spasm/internal/logp"
+	"spasm/internal/machine"
+	"spasm/internal/sim"
+	"spasm/internal/stats"
+)
+
+// Metric selects what a figure plots.
+type Metric int
+
+const (
+	// ExecTime is the simulated execution time (max processor finish).
+	ExecTime Metric = iota
+	// LatencyOvh is the summed contention-free message-transmission
+	// overhead — the quantity the LogP L parameter abstracts.
+	LatencyOvh
+	// ContentionOvh is the summed waiting overhead — links on the
+	// target, the g-gap on the LogP machines.
+	ContentionOvh
+)
+
+func (m Metric) String() string {
+	switch m {
+	case ExecTime:
+		return "execution time"
+	case LatencyOvh:
+		return "latency"
+	case ContentionOvh:
+		return "contention"
+	}
+	return fmt.Sprintf("Metric(%d)", int(m))
+}
+
+// Figure describes one paper figure: an application, a topology and a
+// metric, plotted for the three machines across the processor sweep.
+type Figure struct {
+	Num      int
+	App      string
+	Topology string
+	Metric   Metric
+}
+
+// ID returns the figure's stable identifier, e.g. "fig07" ("custom"
+// for ad-hoc figures built with Session.CustomFigure).
+func (f Figure) ID() string {
+	if f.Num == 0 {
+		return "custom"
+	}
+	return fmt.Sprintf("fig%02d", f.Num)
+}
+
+// Caption reproduces the paper's caption, e.g. "IS on Mesh: Contention".
+func (f Figure) Caption() string {
+	topo := map[string]string{
+		"full": "Full", "cube": "Cube", "mesh": "Mesh",
+		"ring": "Ring", "torus": "Torus",
+	}[f.Topology]
+	if topo == "" {
+		topo = f.Topology
+	}
+	metric := map[Metric]string{
+		ExecTime: "Execution Time", LatencyOvh: "Latency", ContentionOvh: "Contention",
+	}[f.Metric]
+	appName := map[string]string{
+		"ep": "EP", "is": "IS", "fft": "FFT", "cg": "CG", "cholesky": "CHOLESKY",
+	}[f.App]
+	if appName == "" {
+		appName = strings.ToUpper(f.App)
+	}
+	return fmt.Sprintf("%s on %s: %s", appName, topo, metric)
+}
+
+// Figures lists the paper's twenty evaluation figures in order.
+var Figures = []Figure{
+	{1, "fft", "full", LatencyOvh},
+	{2, "cg", "full", LatencyOvh},
+	{3, "ep", "full", LatencyOvh},
+	{4, "is", "full", LatencyOvh},
+	{5, "cholesky", "full", LatencyOvh},
+	{6, "is", "full", ContentionOvh},
+	{7, "is", "mesh", ContentionOvh},
+	{8, "fft", "cube", ContentionOvh},
+	{9, "cholesky", "full", ContentionOvh},
+	{10, "ep", "full", ContentionOvh},
+	{11, "ep", "mesh", ContentionOvh},
+	{12, "ep", "full", ExecTime},
+	{13, "fft", "mesh", ExecTime},
+	{14, "is", "full", ExecTime},
+	{15, "cg", "full", ExecTime},
+	{16, "cholesky", "full", ExecTime},
+	{17, "cg", "mesh", ExecTime},
+	{18, "cholesky", "mesh", ExecTime},
+	{19, "cg", "mesh", ContentionOvh},
+	{20, "cholesky", "mesh", ContentionOvh},
+}
+
+// ByNumber returns figure n (1-20).
+func ByNumber(n int) (Figure, error) {
+	for _, f := range Figures {
+		if f.Num == n {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("exp: no figure %d", n)
+}
+
+// Options configures a Session.
+type Options struct {
+	// Scale selects problem sizes (default apps.Small).
+	Scale apps.Scale
+	// Procs is the processor sweep (default 2..64 in powers of two,
+	// capped so every app fits, e.g. FFT needs R >= P).
+	Procs []int
+	// Seed varies the synthetic inputs (default 1).
+	Seed int64
+	// Machines are the characterizations compared (default LogP,
+	// CLogP, Target — the paper's three).
+	Machines []machine.Kind
+	// PortMode is the g-gap discipline for the LogP machines
+	// (default Combined; PerClass reproduces the section-7 ablation).
+	PortMode logp.PortMode
+	// Parallel is the number of simulations run concurrently on the
+	// host (each simulation is single-threaded and independent, so
+	// this is pure speedup; results are identical).  Default 1.
+	Parallel int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Procs == nil {
+		o.Procs = []int{2, 4, 8, 16, 32, 64}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Machines == nil {
+		o.Machines = []machine.Kind{machine.LogP, machine.CLogP, machine.Target}
+	}
+	return o
+}
+
+// Point is one sweep sample.
+type Point struct {
+	P     int
+	Value float64 // the figure's metric, in microseconds
+	Run   *stats.Run
+}
+
+// Series is one machine's curve across the processor sweep.
+type Series struct {
+	Machine machine.Kind
+	Points  []Point
+}
+
+// FigureResult is a regenerated figure.
+type FigureResult struct {
+	Figure Figure
+	Series []Series
+}
+
+// Value extracts a figure metric from a run, in microseconds.
+func Value(m Metric, r *stats.Run) float64 {
+	switch m {
+	case ExecTime:
+		return r.Total.Micros()
+	case LatencyOvh:
+		return sim.Time(r.Sum(stats.Latency)).Micros()
+	case ContentionOvh:
+		return sim.Time(r.Sum(stats.Contention)).Micros()
+	}
+	panic(fmt.Sprintf("exp: bad metric %d", m))
+}
+
+// Session runs experiments with run caching.  With Options.Parallel > 1
+// the cache is safe for the session's own worker pool.
+type Session struct {
+	opt   Options
+	mu    sync.Mutex
+	cache map[string]*stats.Run
+}
+
+// NewSession returns a Session with the given options.
+func NewSession(opt Options) *Session {
+	return &Session{opt: opt.withDefaults(), cache: map[string]*stats.Run{}}
+}
+
+// Options returns the session's (defaulted) options.
+func (s *Session) Options() Options { return s.opt }
+
+type runKey struct {
+	app  string
+	topo string
+	kind machine.Kind
+	p    int
+}
+
+func (k runKey) String() string {
+	return fmt.Sprintf("%s/%s/%v/%d", k.app, k.topo, k.kind, k.p)
+}
+
+func (s *Session) lookup(key string) (*stats.Run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.cache[key]
+	return r, ok
+}
+
+func (s *Session) store(key string, r *stats.Run) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache[key] = r
+}
+
+// Run simulates one (application, topology, machine, P) combination,
+// returning a cached result if it already ran.
+func (s *Session) Run(appName, topo string, kind machine.Kind, p int) (*stats.Run, error) {
+	key := runKey{appName, topo, kind, p}.String()
+	if r, ok := s.lookup(key); ok {
+		return r, nil
+	}
+	prog, err := apps.New(appName, s.opt.Scale, s.opt.Seed)
+	if err != nil {
+		// Ad-hoc figures may sweep the extension workloads too.
+		var extErr error
+		prog, extErr = apps.NewExtended(appName, s.opt.Scale, s.opt.Seed)
+		if extErr != nil {
+			return nil, err
+		}
+	}
+	res, err := app.Run(prog, machine.Config{
+		Kind:     kind,
+		Topology: topo,
+		P:        p,
+		PortMode: s.opt.PortMode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.store(key, res.Stats)
+	return res.Stats, nil
+}
+
+// Prefetch runs the given combinations concurrently (up to
+// Options.Parallel at a time) and fills the cache; the first error is
+// returned.  Each simulation is internally single-threaded and fully
+// deterministic, so parallel prefetching changes wall time only.
+func (s *Session) Prefetch(keys []runKey) error {
+	workers := s.opt.Parallel
+	if workers < 2 || len(keys) < 2 {
+		for _, k := range keys {
+			if _, err := s.Run(k.app, k.topo, k.kind, k.p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Buffer the whole work list up front so early worker exits (on
+	// error) can never block the producer.
+	work := make(chan runKey, len(keys))
+	for _, k := range keys {
+		work <- k
+	}
+	close(work)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range work {
+				if _, err := s.Run(k.app, k.topo, k.kind, k.p); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Figure regenerates one paper figure.
+func (s *Session) Figure(fig Figure) (*FigureResult, error) {
+	out := &FigureResult{Figure: fig}
+	for _, kind := range s.opt.Machines {
+		series := Series{Machine: kind}
+		for _, p := range s.opt.Procs {
+			r, err := s.Run(fig.App, fig.Topology, kind, p)
+			if err != nil {
+				return nil, fmt.Errorf("%s (p=%d, %v): %w", fig.ID(), p, kind, err)
+			}
+			series.Points = append(series.Points, Point{P: p, Value: Value(fig.Metric, r), Run: r})
+		}
+		out.Series = append(out.Series, series)
+	}
+	return out, nil
+}
+
+// CustomFigure sweeps an arbitrary (application, topology, metric)
+// combination — including the extension topologies — and returns it in
+// figure form so the standard table/chart/CSV renderers apply.  The
+// figure number is 0, marking it as ad hoc.
+func (s *Session) CustomFigure(appName, topo string, metric Metric) (*FigureResult, error) {
+	return s.Figure(Figure{Num: 0, App: appName, Topology: topo, Metric: metric})
+}
+
+// ParseMetric converts "latency", "contention" or "exec" to a Metric.
+func ParseMetric(name string) (Metric, error) {
+	switch name {
+	case "latency":
+		return LatencyOvh, nil
+	case "contention":
+		return ContentionOvh, nil
+	case "exec", "execution":
+		return ExecTime, nil
+	}
+	return 0, fmt.Errorf("exp: unknown metric %q (latency, contention, exec)", name)
+}
+
+// AllFigures regenerates every paper figure, prefetching the underlying
+// runs concurrently when Options.Parallel > 1.
+func (s *Session) AllFigures() ([]*FigureResult, error) {
+	seen := map[runKey]bool{}
+	var keys []runKey
+	for _, fig := range Figures {
+		for _, kind := range s.opt.Machines {
+			for _, p := range s.opt.Procs {
+				k := runKey{fig.App, fig.Topology, kind, p}
+				if !seen[k] {
+					seen[k] = true
+					keys = append(keys, k)
+				}
+			}
+		}
+	}
+	if err := s.Prefetch(keys); err != nil {
+		return nil, err
+	}
+	var out []*FigureResult
+	for _, fig := range Figures {
+		fr, err := s.Figure(fig)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fr)
+	}
+	return out, nil
+}

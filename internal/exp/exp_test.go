@@ -1,0 +1,334 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"spasm/internal/apps"
+	"spasm/internal/logp"
+	"spasm/internal/machine"
+	"spasm/internal/sim"
+)
+
+func tinySession() *Session {
+	return NewSession(Options{Scale: apps.Tiny, Procs: []int{2, 4}})
+}
+
+func TestFigureRegistryComplete(t *testing.T) {
+	if len(Figures) != 20 {
+		t.Fatalf("%d figures, want 20", len(Figures))
+	}
+	for i, f := range Figures {
+		if f.Num != i+1 {
+			t.Errorf("figure %d out of order", f.Num)
+		}
+		if f.ID() == "" || f.Caption() == "" {
+			t.Errorf("figure %d missing id/caption", f.Num)
+		}
+	}
+	// Spot-check captions against the paper.
+	checks := map[int]string{
+		1:  "FFT on Full: Latency",
+		7:  "IS on Mesh: Contention",
+		11: "EP on Mesh: Contention",
+		18: "CHOLESKY on Mesh: Execution Time",
+	}
+	for n, want := range checks {
+		f, err := ByNumber(n)
+		if err != nil || f.Caption() != want {
+			t.Errorf("figure %d caption = %q, want %q", n, f.Caption(), want)
+		}
+	}
+	if _, err := ByNumber(21); err == nil {
+		t.Error("figure 21 should not exist")
+	}
+}
+
+func TestEveryAppAndTopologyAppears(t *testing.T) {
+	appsSeen := map[string]bool{}
+	toposSeen := map[string]bool{}
+	for _, f := range Figures {
+		appsSeen[f.App] = true
+		toposSeen[f.Topology] = true
+	}
+	for _, a := range []string{"ep", "is", "fft", "cg", "cholesky"} {
+		if !appsSeen[a] {
+			t.Errorf("app %s in no figure", a)
+		}
+	}
+	for _, topo := range []string{"full", "cube", "mesh"} {
+		if !toposSeen[topo] {
+			t.Errorf("topology %s in no figure", topo)
+		}
+	}
+}
+
+func TestSessionCaching(t *testing.T) {
+	s := tinySession()
+	a, err := s.Run("ep", "full", machine.CLogP, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run("ep", "full", machine.CLogP, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cache miss on identical run")
+	}
+	c, err := s.Run("ep", "full", machine.CLogP, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different P hit the same cache entry")
+	}
+}
+
+func TestFigureSweep(t *testing.T) {
+	s := tinySession()
+	fig, _ := ByNumber(3) // EP on full, latency — the cheapest app
+	fr, err := s.Figure(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Series) != 3 {
+		t.Fatalf("%d series, want 3", len(fr.Series))
+	}
+	for _, series := range fr.Series {
+		if len(series.Points) != 2 {
+			t.Fatalf("%d points, want 2", len(series.Points))
+		}
+		for _, pt := range series.Points {
+			if pt.Value < 0 || pt.Run == nil {
+				t.Errorf("bad point %+v", pt)
+			}
+		}
+	}
+}
+
+func TestValueExtraction(t *testing.T) {
+	s := tinySession()
+	r, err := s.Run("is", "full", machine.Target, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Value(ExecTime, r) <= 0 {
+		t.Error("exec time not positive")
+	}
+	if Value(LatencyOvh, r) <= 0 {
+		t.Error("IS on target has zero latency overhead")
+	}
+	if got := Value(ExecTime, r); got != r.Total.Micros() {
+		t.Errorf("exec value %v != total %v", got, r.Total.Micros())
+	}
+}
+
+func TestMetricNames(t *testing.T) {
+	if ExecTime.String() != "execution time" || LatencyOvh.String() != "latency" ||
+		ContentionOvh.String() != "contention" {
+		t.Error("metric names wrong")
+	}
+	if !strings.Contains(Metric(9).String(), "9") {
+		t.Error("unknown metric name")
+	}
+}
+
+func TestGapTableMatchesPaper(t *testing.T) {
+	rows := GapTable([]int{16, 64})
+	want := map[string]map[int]sim.Time{
+		"full": {16: sim.Micros(0.2), 64: sim.Micros(0.05)},
+		"cube": {16: sim.Micros(1.6), 64: sim.Micros(1.6)},
+		"mesh": {16: sim.Micros(3.2), 64: sim.Micros(6.4)},
+	}
+	seen := 0
+	for _, r := range rows {
+		if w, ok := want[r.Topology][r.P]; ok {
+			seen++
+			if r.G != w {
+				t.Errorf("g(%s, %d) = %v, want %v", r.Topology, r.P, r.G, w)
+			}
+		}
+	}
+	if seen != 6 {
+		t.Errorf("gap table missing entries: %d of 6", seen)
+	}
+}
+
+func TestSimulationCost(t *testing.T) {
+	s := NewSession(Options{Scale: apps.Tiny, Procs: []int{4}})
+	rows, err := s.SimulationCost("full", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Events == 0 {
+			t.Errorf("%v: zero events", r.Machine)
+		}
+	}
+}
+
+func TestGapAblationShape(t *testing.T) {
+	rows, err := GapAblation(apps.Tiny, 1, []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The per-class discipline can only reduce gap-induced
+		// contention relative to the combined port.
+		if r.PerClassGap > r.CombinedGap {
+			t.Errorf("p=%d: per-class %v > combined %v", r.P, r.PerClassGap, r.CombinedGap)
+		}
+	}
+}
+
+func TestMessageCounts(t *testing.T) {
+	s := tinySession()
+	counts, err := s.MessageCounts("fft", "full", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[machine.LogP] <= counts[machine.CLogP] {
+		t.Errorf("LogP messages %d not above CLogP %d (no locality abstraction?)",
+			counts[machine.LogP], counts[machine.CLogP])
+	}
+}
+
+func TestPortModePlumbing(t *testing.T) {
+	com := NewSession(Options{Scale: apps.Tiny, Procs: []int{4},
+		Machines: []machine.Kind{machine.LogP}, PortMode: logp.Combined})
+	per := NewSession(Options{Scale: apps.Tiny, Procs: []int{4},
+		Machines: []machine.Kind{machine.LogP}, PortMode: logp.PerClass})
+	a, err := com.Run("is", "mesh", machine.LogP, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := per.Run("is", "mesh", machine.LogP, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Value(ContentionOvh, a) < Value(ContentionOvh, b) {
+		t.Errorf("combined contention %v below per-class %v",
+			Value(ContentionOvh, a), Value(ContentionOvh, b))
+	}
+}
+
+func TestParallelPrefetchIdenticalResults(t *testing.T) {
+	serial := NewSession(Options{Scale: apps.Tiny, Procs: []int{2, 4}})
+	parallel := NewSession(Options{Scale: apps.Tiny, Procs: []int{2, 4}, Parallel: 8})
+	a, err := serial.AllFigures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.AllFigures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for si := range a[i].Series {
+			for pi := range a[i].Series[si].Points {
+				av := a[i].Series[si].Points[pi].Value
+				bv := b[i].Series[si].Points[pi].Value
+				if av != bv {
+					t.Fatalf("%s series %d point %d: %v != %v",
+						a[i].Figure.ID(), si, pi, av, bv)
+				}
+			}
+		}
+	}
+}
+
+func TestSpeedupStudy(t *testing.T) {
+	s := NewSession(Options{Scale: apps.Tiny, Procs: []int{2, 4}})
+	rows, err := s.Speedup("cg", "full", machine.Target, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 0 || r.Efficiency <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+		// Real speedup cannot beat algorithmic speedup.
+		if r.Speedup > r.AlgorithmicSpeedup*1.001 {
+			t.Errorf("p=%d: speedup %.2f above algorithmic %.2f",
+				r.P, r.Speedup, r.AlgorithmicSpeedup)
+		}
+		// Algorithmic speedup is bounded by P.
+		if r.AlgorithmicSpeedup > float64(r.P)*1.001 {
+			t.Errorf("p=%d: algorithmic speedup %.2f above P", r.P, r.AlgorithmicSpeedup)
+		}
+	}
+	// EP (compute-bound) must scale better than IS (communication-
+	// bound) on the target machine.
+	epRows, err := s.Speedup("ep", "full", machine.Target, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isRows, err := s.Speedup("is", "full", machine.Target, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epRows[0].Efficiency <= isRows[0].Efficiency {
+		t.Errorf("EP efficiency %.2f not above IS %.2f",
+			epRows[0].Efficiency, isRows[0].Efficiency)
+	}
+}
+
+func TestCustomFigure(t *testing.T) {
+	s := tinySession()
+	fr, err := s.CustomFigure("is", "torus", ContentionOvh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Figure.ID() != "custom" {
+		t.Errorf("id = %q", fr.Figure.ID())
+	}
+	if fr.Figure.Caption() != "IS on Torus: Contention" {
+		t.Errorf("caption = %q", fr.Figure.Caption())
+	}
+	if len(fr.Series) != 3 || len(fr.Series[0].Points) != 2 {
+		t.Fatalf("series %d, points %d", len(fr.Series), len(fr.Series[0].Points))
+	}
+	// Extension workloads sweep too.
+	fr2, err := s.CustomFigure("mg", "ring", ExecTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr2.Figure.Caption() != "MG on Ring: Execution Time" {
+		t.Errorf("caption = %q", fr2.Figure.Caption())
+	}
+	if _, err := s.CustomFigure("bogus", "ring", ExecTime); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestParseMetric(t *testing.T) {
+	for name, want := range map[string]Metric{
+		"latency": LatencyOvh, "contention": ContentionOvh,
+		"exec": ExecTime, "execution": ExecTime,
+	} {
+		got, err := ParseMetric(name)
+		if err != nil || got != want {
+			t.Errorf("ParseMetric(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseMetric("speedup"); err == nil {
+		t.Error("bad metric accepted")
+	}
+}
+
+func TestUnknownAppError(t *testing.T) {
+	s := tinySession()
+	if _, err := s.Run("nope", "full", machine.Target, 2); err == nil {
+		t.Error("unknown app accepted")
+	}
+}

@@ -1,0 +1,27 @@
+package logp
+
+import (
+	"testing"
+
+	"spasm/internal/sim"
+)
+
+// BenchmarkMessage measures abstract-network message accounting.
+func BenchmarkMessage(b *testing.B) {
+	for _, mode := range []PortMode{Combined, PerClass} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			n := New(64, DefaultL, sim.Micros(1.6), mode)
+			now := sim.Time(0)
+			for i := 0; i < b.N; i++ {
+				src := i % 64
+				dst := (i*7 + 1) % 64
+				if src == dst {
+					dst = (dst + 1) % 64
+				}
+				x := n.Message(now, src, dst)
+				now = x.SendAt
+			}
+		})
+	}
+}

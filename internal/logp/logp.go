@@ -1,0 +1,181 @@
+// Package logp implements the network abstraction of Culler et al.'s
+// LogP model as the paper uses it: every message incurs a fixed latency
+// L, and each processor may perform at most one network event (send or
+// receive) every g time units, where g is derived from the per-processor
+// bisection bandwidth of the network being abstracted.
+//
+// The o (overhead) parameter is insignificant on a shared-memory platform
+// where messaging happens in hardware, and is omitted, following the
+// paper.  The P parameter is carried by the machine configuration.
+//
+// Two gap-accounting disciplines are provided:
+//
+//   - Combined (the LogP definition): sends and receives at a node share
+//     one port, so even a send immediately following a receive must wait
+//     g.  The paper identifies this as a source of pessimism.
+//   - PerClass (the paper's §7 ablation): the g gap is enforced only
+//     between *identical* communication events — sends gap against
+//     sends, receives against receives — which the authors found brings
+//     the contention estimate much closer to the real network.
+package logp
+
+import (
+	"fmt"
+
+	"spasm/internal/network"
+	"spasm/internal/sim"
+)
+
+// DefaultL is the paper's L parameter: the transmission time of a
+// maximum-size 32-byte message on a 20 MB/s link, 1.6 microseconds.
+const DefaultL = sim.Time(32) * sim.SerialByte
+
+// PortMode selects the gap-accounting discipline.
+type PortMode int
+
+const (
+	// Combined enforces g between any two network events at a node
+	// (the strict LogP definition).
+	Combined PortMode = iota
+	// PerClass enforces g separately between sends and between
+	// receives (the §7 ablation).
+	PerClass
+)
+
+func (m PortMode) String() string {
+	switch m {
+	case Combined:
+		return "combined"
+	case PerClass:
+		return "per-class"
+	}
+	return fmt.Sprintf("PortMode(%d)", int(m))
+}
+
+// GapFor computes the paper's g parameter for a topology: the time per
+// maximum-size message divided by the per-processor share of the
+// bisection bandwidth.  With the paper's constants this yields
+// 3.2/p us (full), 1.6 us (cube) and 0.8*cols us (mesh).
+func GapFor(t network.Topology, msgBytes int, byteTime sim.Time) sim.Time {
+	msg := sim.Time(msgBytes) * byteTime
+	return msg * sim.Time(t.P()) / sim.Time(t.BisectionLinks())
+}
+
+// Net is a LogP-abstracted network over P nodes.
+type Net struct {
+	L    sim.Time
+	G    sim.Time
+	Mode PortMode
+
+	// Crosses, when non-nil, enables the history-based adaptive g the
+	// paper proposes in section 7: g is derived from bisection
+	// bandwidth under the assumption that *every* message crosses the
+	// bisection, so the effective gap is scaled by the observed
+	// fraction of traffic that actually does.  The predicate reports
+	// whether a src->dst message crosses the bisection of the
+	// topology g was derived from.
+	Crosses func(src, dst int) bool
+
+	last     []sim.Time // Combined: last network event per node
+	lastSend []sim.Time // PerClass ports
+	lastRecv []sim.Time
+
+	// Messages counts every message carried; Crossing counts those
+	// that crossed the bisection (adaptive mode only).
+	Messages uint64
+	Crossing uint64
+}
+
+// New returns a LogP network over p nodes with the given parameters.
+func New(p int, l, g sim.Time, mode PortMode) *Net {
+	if p < 1 {
+		panic("logp: p < 1")
+	}
+	if l < 0 || g < 0 {
+		panic("logp: negative L or g")
+	}
+	n := &Net{L: l, G: g, Mode: mode}
+	n.last = make([]sim.Time, p)
+	n.lastSend = make([]sim.Time, p)
+	n.lastRecv = make([]sim.Time, p)
+	// Allow the first event at each node to happen at time zero.
+	for i := range n.last {
+		n.last[i] = -n.G
+		n.lastSend[i] = -n.G
+		n.lastRecv[i] = -n.G
+	}
+	return n
+}
+
+// P returns the number of nodes.
+func (n *Net) P() int { return len(n.last) }
+
+// adaptiveWarmup is how many messages the adaptive estimator observes
+// before trusting its locality history.
+const adaptiveWarmup = 32
+
+// effectiveG returns the gap currently in force: the static g, or — in
+// adaptive mode, once warmed up — g scaled by the observed fraction of
+// bisection-crossing traffic.
+func (n *Net) effectiveG() sim.Time {
+	if n.Crosses == nil || n.Messages < adaptiveWarmup {
+		return n.G
+	}
+	return sim.Time(uint64(n.G) * n.Crossing / n.Messages)
+}
+
+// gate returns the earliest time >= at that node may perform an event of
+// the given class, and records the event.
+func (n *Net) gate(node int, send bool, at, g sim.Time) sim.Time {
+	var slot *sim.Time
+	switch {
+	case n.Mode == Combined:
+		slot = &n.last[node]
+	case send:
+		slot = &n.lastSend[node]
+	default:
+		slot = &n.lastRecv[node]
+	}
+	ready := *slot + g
+	if at > ready {
+		ready = at
+	}
+	*slot = ready
+	return ready
+}
+
+// Xmit describes one message on the abstract network.
+type Xmit struct {
+	SendAt  sim.Time // when the source's port admitted the send
+	Arrive  sim.Time // SendAt + L
+	Deliver sim.Time // when the destination's port admitted the receive
+	// Latency is the contention-free component, always L.
+	Latency sim.Time
+	// Wait is the gap-induced stall at both endpoints; it is charged
+	// to the contention overhead.
+	Wait sim.Time
+}
+
+// Message transfers one message from src to dst, departing no earlier
+// than now, and returns its schedule.  It does not block any process;
+// callers advance their process to Deliver (or compose further legs).
+func (n *Net) Message(now sim.Time, src, dst int) Xmit {
+	if src == dst {
+		panic(fmt.Sprintf("logp: message to self at node %d", src))
+	}
+	g := n.effectiveG()
+	sendAt := n.gate(src, true, now, g)
+	arrive := sendAt + n.L
+	deliver := n.gate(dst, false, arrive, g)
+	n.Messages++
+	if n.Crosses != nil && n.Crosses(src, dst) {
+		n.Crossing++
+	}
+	return Xmit{
+		SendAt:  sendAt,
+		Arrive:  arrive,
+		Deliver: deliver,
+		Latency: n.L,
+		Wait:    (sendAt - now) + (deliver - arrive),
+	}
+}

@@ -1,0 +1,225 @@
+package logp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spasm/internal/network"
+	"spasm/internal/sim"
+)
+
+func TestDefaultL(t *testing.T) {
+	if DefaultL != sim.Micros(1.6) {
+		t.Errorf("DefaultL = %v, want 1.6us", DefaultL)
+	}
+}
+
+// TestGapMatchesPaper checks the g values quoted in section 5 of the
+// paper: 3.2/p us (full), 1.6 us (cube), 0.8*px us (mesh).
+func TestGapMatchesPaper(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 16, 32, 64} {
+		full := GapFor(network.NewFull(p), 32, sim.SerialByte)
+		if want := sim.Micros(3.2 / float64(p)); full != want {
+			t.Errorf("g(full,%d) = %v, want %v", p, full, want)
+		}
+		cube := GapFor(network.NewCube(p), 32, sim.SerialByte)
+		if want := sim.Micros(1.6); cube != want {
+			t.Errorf("g(cube,%d) = %v, want %v", p, cube, want)
+		}
+		m := network.NewMesh(p)
+		mesh := GapFor(m, 32, sim.SerialByte)
+		if want := sim.Micros(0.8 * float64(m.Cols())); mesh != want {
+			t.Errorf("g(mesh,%d) = %v, want %v", p, mesh, want)
+		}
+	}
+}
+
+func TestGapOrdering(t *testing.T) {
+	// For p >= 8 the paper's parameters order full < cube < mesh.
+	for _, p := range []int{8, 16, 32, 64} {
+		full := GapFor(network.NewFull(p), 32, sim.SerialByte)
+		cube := GapFor(network.NewCube(p), 32, sim.SerialByte)
+		mesh := GapFor(network.NewMesh(p), 32, sim.SerialByte)
+		if !(full < cube && cube < mesh) {
+			t.Errorf("p=%d: g not ordered: full=%v cube=%v mesh=%v", p, full, cube, mesh)
+		}
+	}
+}
+
+func TestFirstMessageUndelayed(t *testing.T) {
+	n := New(4, DefaultL, sim.Micros(1.6), Combined)
+	x := n.Message(0, 0, 1)
+	if x.SendAt != 0 || x.Wait != 0 {
+		t.Errorf("first message delayed: %+v", x)
+	}
+	if x.Deliver != DefaultL {
+		t.Errorf("deliver = %v, want %v", x.Deliver, DefaultL)
+	}
+}
+
+func TestSenderGapEnforced(t *testing.T) {
+	g := sim.Micros(1.6)
+	n := New(4, DefaultL, g, Combined)
+	n.Message(0, 0, 1)
+	x := n.Message(100, 0, 2) // issued only 100 units after the first send
+	if x.SendAt != g {
+		t.Errorf("second send at %v, want %v", x.SendAt, g)
+	}
+	if x.Wait != g-100+0 {
+		t.Errorf("wait = %v, want %v", x.Wait, g-100)
+	}
+}
+
+func TestReceiverGapEnforced(t *testing.T) {
+	g := sim.Micros(1.6)
+	n := New(4, DefaultL, g, Combined)
+	n.Message(0, 1, 0) // node 0 receives at L
+	x := n.Message(0, 2, 0)
+	arrive := x.SendAt + DefaultL
+	wantDeliver := DefaultL + g // first receive at L, next no sooner than L+g
+	if x.Deliver != wantDeliver {
+		t.Errorf("deliver = %v, want %v", x.Deliver, wantDeliver)
+	}
+	if x.Wait != x.Deliver-arrive {
+		t.Errorf("wait accounting wrong: %+v", x)
+	}
+}
+
+func TestCombinedPortCouplesSendAndReceive(t *testing.T) {
+	// Strict LogP: a node that just received cannot send for g.
+	g := sim.Micros(1.6)
+	n := New(4, DefaultL, g, Combined)
+	x1 := n.Message(0, 1, 0) // node 0 receives at L
+	x2 := n.Message(x1.Deliver, 0, 1)
+	if x2.SendAt != x1.Deliver+g {
+		t.Errorf("send after receive at %v, want %v", x2.SendAt, x1.Deliver+g)
+	}
+}
+
+func TestPerClassPortsDecouple(t *testing.T) {
+	// The ablation: a send right after a receive is NOT gapped.
+	g := sim.Micros(1.6)
+	n := New(4, DefaultL, g, PerClass)
+	x1 := n.Message(0, 1, 0)
+	x2 := n.Message(x1.Deliver, 0, 1)
+	if x2.SendAt != x1.Deliver {
+		t.Errorf("per-class send delayed: %v, want %v", x2.SendAt, x1.Deliver)
+	}
+	// ... but two sends still gap.
+	x3 := n.Message(x2.SendAt, 0, 2)
+	if x3.SendAt != x2.SendAt+g {
+		t.Errorf("per-class send-send gap: %v, want %v", x3.SendAt, x2.SendAt+g)
+	}
+}
+
+func TestPerClassLessPessimistic(t *testing.T) {
+	// Over a request-reply workload the PerClass discipline must never
+	// accumulate more wait time than Combined.
+	run := func(mode PortMode) sim.Time {
+		n := New(4, DefaultL, sim.Micros(1.6), mode)
+		var wait sim.Time
+		now := sim.Time(0)
+		for i := 0; i < 50; i++ {
+			req := n.Message(now, 0, 1)
+			rep := n.Message(req.Deliver, 1, 0)
+			wait += req.Wait + rep.Wait
+			now = rep.Deliver + 10
+		}
+		return wait
+	}
+	if run(PerClass) > run(Combined) {
+		t.Error("PerClass accumulated more contention than Combined")
+	}
+}
+
+func TestMessageCounting(t *testing.T) {
+	n := New(2, DefaultL, 0, Combined)
+	for i := 0; i < 5; i++ {
+		n.Message(sim.Time(i*10000), 0, 1)
+	}
+	if n.Messages != 5 {
+		t.Errorf("Messages = %d", n.Messages)
+	}
+}
+
+func TestZeroGap(t *testing.T) {
+	n := New(2, DefaultL, 0, Combined)
+	x1 := n.Message(0, 0, 1)
+	x2 := n.Message(0, 0, 1)
+	if x1.Wait != 0 || x2.Wait != 0 {
+		t.Error("zero-g network produced contention")
+	}
+}
+
+func TestSelfMessagePanics(t *testing.T) {
+	n := New(2, DefaultL, 0, Combined)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on self message")
+		}
+	}()
+	n.Message(0, 1, 1)
+}
+
+func TestValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, DefaultL, 0, Combined) },
+		func() { New(2, -1, 0, Combined) },
+		func() { New(2, DefaultL, -1, Combined) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	if Combined.String() != "combined" || PerClass.String() != "per-class" {
+		t.Error("PortMode strings")
+	}
+	if PortMode(7).String() == "" {
+		t.Error("unknown PortMode string")
+	}
+}
+
+// Property: consecutive events of the gapped class at one node are always
+// at least g apart, and Wait is exactly the sum of endpoint stalls.
+func TestGapInvariantProperty(t *testing.T) {
+	f := func(steps []uint8, gRaw uint16) bool {
+		g := sim.Time(gRaw)
+		n := New(4, DefaultL, g, Combined)
+		var lastEvent [4]sim.Time
+		for i := range lastEvent {
+			lastEvent[i] = -g
+		}
+		now := sim.Time(0)
+		for _, s := range steps {
+			src := int(s) % 4
+			dst := (src + 1 + int(s/8)%3) % 4
+			if src == dst {
+				continue
+			}
+			x := n.Message(now, src, dst)
+			if x.SendAt < now || x.SendAt < lastEvent[src]+g {
+				return false
+			}
+			if x.Deliver < x.SendAt+DefaultL || x.Deliver < lastEvent[dst]+g {
+				return false
+			}
+			if x.Wait != (x.SendAt-now)+(x.Deliver-x.Arrive) {
+				return false
+			}
+			lastEvent[src] = x.SendAt
+			if x.Deliver > lastEvent[dst] {
+				lastEvent[dst] = x.Deliver
+			}
+			now += sim.Time(s) // non-decreasing issue times
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package machine
+
+import (
+	"fmt"
+
+	"spasm/internal/mem"
+	"spasm/internal/sim"
+	"spasm/internal/stats"
+)
+
+// Conformance checks that a Machine implementation obeys the semantic
+// contract every machine characterization must satisfy, independent of
+// its timing model:
+//
+//  1. accounting: every Read/Write increments the issuing processor's
+//     reference counters;
+//  2. progress: accesses complete in finite simulated time and never
+//     move a processor's clock backwards;
+//  3. determinism: identical access sequences produce identical
+//     simulated times and statistics;
+//  4. locality sanity: a reference to the issuing node's own partition
+//     never costs more than the same reference made remotely (for
+//     machines that distinguish the two).
+//
+// Tests call it with a factory so each check starts from a fresh
+// machine; it returns the first violation found.
+func Conformance(factory func() (Machine, *mem.Space, *mem.Array)) error {
+	if err := confAccounting(factory); err != nil {
+		return err
+	}
+	if err := confProgress(factory); err != nil {
+		return err
+	}
+	if err := confDeterminism(factory); err != nil {
+		return err
+	}
+	return confLocality(factory)
+}
+
+func confAccounting(factory func() (Machine, *mem.Space, *mem.Array)) error {
+	m, _, arr := factory()
+	e := sim.NewEngine()
+	run := stats.NewRun(m.P())
+	e.Spawn("conf", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			m.Read(p, &run.Procs[0], 0, arr.At(i))
+		}
+		for i := 0; i < 5; i++ {
+			m.Write(p, &run.Procs[0], 0, arr.At(i))
+		}
+	})
+	if err := e.Run(); err != nil {
+		return fmt.Errorf("conformance/accounting: %w", err)
+	}
+	if run.Procs[0].Reads != 10 || run.Procs[0].Writes != 5 {
+		return fmt.Errorf("conformance/accounting: reads=%d writes=%d, want 10/5",
+			run.Procs[0].Reads, run.Procs[0].Writes)
+	}
+	return nil
+}
+
+func confProgress(factory func() (Machine, *mem.Space, *mem.Array)) error {
+	m, _, arr := factory()
+	e := sim.NewEngine()
+	e.MaxTime = sim.Micros(1e9) // any access loop must finish well inside this
+	run := stats.NewRun(m.P())
+	var violation error
+	e.Spawn("conf", func(p *sim.Proc) {
+		last := p.Now()
+		for i := 0; i < 200; i++ {
+			node := i % m.P()
+			m.Read(p, &run.Procs[node], node, arr.At(i%arr.N))
+			if p.Now() < last {
+				violation = fmt.Errorf("conformance/progress: clock moved backwards")
+				return
+			}
+			last = p.Now()
+		}
+	})
+	if err := e.Run(); err != nil {
+		return fmt.Errorf("conformance/progress: %w", err)
+	}
+	return violation
+}
+
+func confDeterminism(factory func() (Machine, *mem.Space, *mem.Array)) error {
+	trial := func() (sim.Time, uint64) {
+		m, _, arr := factory()
+		e := sim.NewEngine()
+		run := stats.NewRun(m.P())
+		e.Spawn("conf", func(p *sim.Proc) {
+			for i := 0; i < 300; i++ {
+				node := (i * 7) % m.P()
+				if i%3 == 0 {
+					m.Write(p, &run.Procs[node], node, arr.At((i*13)%arr.N))
+				} else {
+					m.Read(p, &run.Procs[node], node, arr.At((i*13)%arr.N))
+				}
+			}
+		})
+		if err := e.Run(); err != nil {
+			return -1, 0
+		}
+		return e.Now(), run.Messages()
+	}
+	t1, m1 := trial()
+	t2, m2 := trial()
+	if t1 != t2 || m1 != m2 {
+		return fmt.Errorf("conformance/determinism: %v/%d vs %v/%d", t1, m1, t2, m2)
+	}
+	return nil
+}
+
+func confLocality(factory func() (Machine, *mem.Space, *mem.Array)) error {
+	cost := func(node, elem int) (sim.Time, error) {
+		m, _, arr := factory()
+		e := sim.NewEngine()
+		run := stats.NewRun(m.P())
+		var d sim.Time
+		e.Spawn("conf", func(p *sim.Proc) {
+			t0 := p.Now()
+			m.Read(p, &run.Procs[node], node, arr.At(elem))
+			d = p.Now() - t0
+		})
+		if err := e.Run(); err != nil {
+			return 0, err
+		}
+		return d, nil
+	}
+	m, _, arr := factory()
+	lo0, _ := arr.OwnerRange(0)
+	local, err := cost(0, lo0)
+	if err != nil {
+		return fmt.Errorf("conformance/locality: %w", err)
+	}
+	remoteNode := m.P() - 1
+	remote, err := cost(remoteNode, lo0)
+	if err != nil {
+		return fmt.Errorf("conformance/locality: %w", err)
+	}
+	if local > remote {
+		return fmt.Errorf("conformance/locality: local read (%v) dearer than remote (%v)",
+			local, remote)
+	}
+	return nil
+}

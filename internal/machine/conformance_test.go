@@ -1,0 +1,51 @@
+package machine
+
+import (
+	"testing"
+
+	"spasm/internal/mem"
+)
+
+// TestAllMachinesConform runs the conformance suite over every machine
+// kind, every topology, and every coherence protocol variant.
+func TestAllMachinesConform(t *testing.T) {
+	type variant struct {
+		name string
+		cfg  Config
+	}
+	var variants []variant
+	for _, kind := range Kinds() {
+		for _, topo := range []string{"full", "cube", "mesh", "ring", "torus"} {
+			variants = append(variants, variant{
+				name: kind.String() + "/" + topo,
+				cfg:  Config{Kind: kind, Topology: topo},
+			})
+		}
+	}
+	variants = append(variants,
+		variant{"target/msi", Config{Kind: Target, Topology: "cube", Protocol: 1}},
+		variant{"target/update", Config{Kind: Target, Topology: "cube", Protocol: 2}},
+		variant{"clogp/adaptive", Config{Kind: CLogP, Topology: "mesh", AdaptiveG: true}},
+		variant{"logp/perclass", Config{Kind: LogP, Topology: "mesh", PortMode: 1}},
+		variant{"target/fastlinks", Config{Kind: Target, Topology: "mesh", LinkByteTime: 4}},
+	)
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			factory := func() (Machine, *mem.Space, *mem.Array) {
+				s := mem.NewSpace(8, 32)
+				a := s.Alloc("conf", 8*64, 8, mem.Blocked)
+				cfg := v.cfg
+				cfg.P = 8
+				m, err := New(cfg, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m, s, a
+			}
+			if err := Conformance(factory); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,316 @@
+// Package machine assembles the paper's four simulated machine
+// characterizations from the substrate packages:
+//
+//   - Target: CC-NUMA with per-node Berkeley-coherent caches and a
+//     detailed circuit-switched wormhole network (full, cube or mesh).
+//   - LogP: no caches; every non-local reference crosses a network
+//     abstracted by the LogP L and g parameters.
+//   - CLogP ("LogP+cache"): the LogP network plus an ideal coherent
+//     cache at each node — coherence state is maintained exactly but
+//     coherence actions are free.
+//   - Ideal: a PRAM-like machine with unit-cost conflict-free memory,
+//     used to measure the ideal (purely algorithmic) execution time.
+//
+// All four implement the Machine interface, so one application binary
+// runs unmodified on any of them — the essence of execution-driven
+// simulation with interchangeable architectural models.
+package machine
+
+import (
+	"fmt"
+
+	"spasm/internal/cache"
+	"spasm/internal/coherence"
+	"spasm/internal/logp"
+	"spasm/internal/mem"
+	"spasm/internal/network"
+	"spasm/internal/sim"
+	"spasm/internal/stats"
+)
+
+// Kind identifies a machine characterization.
+type Kind int
+
+const (
+	// Ideal is the PRAM-like machine behind SPASM's ideal-time metric.
+	Ideal Kind = iota
+	// LogP is the cache-less machine with the L/g network abstraction.
+	LogP
+	// CLogP is the LogP machine augmented with the ideal coherent cache.
+	CLogP
+	// Target is the detailed CC-NUMA machine.
+	Target
+)
+
+var kindNames = [...]string{"ideal", "logp", "clogp", "target"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind converts a name ("ideal", "logp", "clogp", "target") to Kind.
+func ParseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("machine: unknown kind %q", s)
+}
+
+// Kinds lists all machine kinds in comparison order.
+func Kinds() []Kind { return []Kind{Ideal, LogP, CLogP, Target} }
+
+// Machine is a simulated memory system: the only interface applications
+// see, so the same program drives every characterization.
+type Machine interface {
+	// Kind reports which characterization this is.
+	Kind() Kind
+	// P reports the number of processing nodes.
+	P() int
+	// Read simulates a shared-memory read by node at addr on behalf of
+	// process p, blocking p for the sequentially consistent duration
+	// and accounting overheads into st.
+	Read(p *sim.Proc, st *stats.Proc, node int, addr mem.Addr)
+	// Write simulates a shared-memory write, like Read.
+	Write(p *sim.Proc, st *stats.Proc, node int, addr mem.Addr)
+}
+
+// Config selects and parameterizes a machine.
+type Config struct {
+	Kind     Kind
+	P        int
+	Topology string // "full", "cube" or "mesh"
+	// Cache geometry for Target and CLogP; zero value means the
+	// paper's 64 KB 2-way 32 B cache.
+	Cache cache.Config
+	// Costs are the non-network cost parameters; zero value means
+	// coherence.DefaultCosts.
+	Costs coherence.Costs
+	// L overrides the LogP latency parameter (0 means the paper's
+	// 1.6 us).
+	L sim.Time
+	// G overrides the LogP gap (0 means: derive from the topology's
+	// bisection bandwidth exactly as the paper does).
+	G sim.Time
+	// PortMode selects the g-gap discipline for LogP machines.
+	PortMode logp.PortMode
+	// AdaptiveG enables the history-based g estimation the paper
+	// proposes in section 7: the gap is scaled by the observed
+	// fraction of traffic that actually crosses the bisection.
+	AdaptiveG bool
+	// SwitchDelay is the per-hop delay on the target fabric (paper: 0).
+	SwitchDelay sim.Time
+	// LinkByteTime is the per-byte link transmission time (0 means
+	// the paper's 20 MB/s serial links).  It scales the detailed
+	// fabric, the default L, and the bisection-derived g together —
+	// the technology-scaling knob.
+	LinkByteTime sim.Time
+	// Protocol selects the coherence protocol for the cached machines
+	// (Berkeley by default, the paper's target; MSI for the
+	// protocol-sensitivity experiment).
+	Protocol coherence.Protocol
+}
+
+// withDefaults fills zero fields with the paper's parameters.
+func (c Config) withDefaults() Config {
+	if c.Topology == "" {
+		c.Topology = "full"
+	}
+	if c.Cache == (cache.Config{}) {
+		c.Cache = cache.DefaultConfig()
+	}
+	if c.Costs == (coherence.Costs{}) {
+		c.Costs = coherence.DefaultCosts()
+	}
+	if c.LinkByteTime == 0 {
+		c.LinkByteTime = sim.SerialByte
+	}
+	if c.L == 0 {
+		c.L = sim.Time(c.Costs.DataBytes) * c.LinkByteTime
+	}
+	return c
+}
+
+// New builds the configured machine over the given address space.
+func New(cfg Config, space *mem.Space) (Machine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.P == 0 {
+		cfg.P = space.P()
+	}
+	if cfg.P != space.P() {
+		return nil, fmt.Errorf("machine: config P=%d but space has %d nodes", cfg.P, space.P())
+	}
+	switch cfg.Kind {
+	case Ideal:
+		return &ideal{p: cfg.P, unit: cfg.Costs.CacheHit}, nil
+	case LogP, CLogP:
+		topo, err := network.New(cfg.Topology, cfg.P)
+		if err != nil {
+			return nil, err
+		}
+		g := cfg.G
+		if g == 0 {
+			g = logp.GapFor(topo, cfg.Costs.DataBytes, cfg.LinkByteTime)
+		}
+		net := logp.New(cfg.P, cfg.L, g, cfg.PortMode)
+		if cfg.AdaptiveG {
+			net.Crosses = topo.CrossesBisection
+		}
+		if cfg.Kind == LogP {
+			return &logpMachine{space: space, net: net, costs: cfg.Costs}, nil
+		}
+		tr := &clogpTransport{net: net}
+		eng := coherence.NewEngine(space, cfg.Cache, cfg.Costs, tr)
+		eng.Protocol = cfg.Protocol
+		return &cachedMachine{kind: CLogP, space: space, eng: eng, net: net}, nil
+	case Target:
+		topo, err := network.New(cfg.Topology, cfg.P)
+		if err != nil {
+			return nil, err
+		}
+		fab := network.NewFabric(topo)
+		fab.ByteTime = cfg.LinkByteTime
+		fab.SwitchDelay = cfg.SwitchDelay
+		tr := &targetTransport{fab: fab}
+		eng := coherence.NewEngine(space, cfg.Cache, cfg.Costs, tr)
+		eng.Protocol = cfg.Protocol
+		return &cachedMachine{kind: Target, space: space, eng: eng, fab: fab}, nil
+	}
+	return nil, fmt.Errorf("machine: unknown kind %d", cfg.Kind)
+}
+
+// ideal is the PRAM-like machine: unit-cost, conflict-free memory.
+type ideal struct {
+	p    int
+	unit sim.Time
+}
+
+func (m *ideal) Kind() Kind { return Ideal }
+func (m *ideal) P() int     { return m.p }
+
+func (m *ideal) Read(p *sim.Proc, st *stats.Proc, node int, addr mem.Addr) {
+	st.Reads++
+	st.Add(stats.Memory, m.unit)
+	p.Defer(m.unit)
+}
+
+func (m *ideal) Write(p *sim.Proc, st *stats.Proc, node int, addr mem.Addr) {
+	st.Writes++
+	st.Add(stats.Memory, m.unit)
+	p.Defer(m.unit)
+}
+
+// logpMachine is the cache-less LogP machine: local references cost a
+// memory access; every non-local reference is a request/reply round trip
+// on the abstract network, as on a NUMA machine without caches.
+type logpMachine struct {
+	space *mem.Space
+	net   *logp.Net
+	costs coherence.Costs
+}
+
+func (m *logpMachine) Kind() Kind { return LogP }
+func (m *logpMachine) P() int     { return m.net.P() }
+
+// Net exposes the abstract network (for parameter inspection in tools).
+func (m *logpMachine) Net() *logp.Net { return m.net }
+
+func (m *logpMachine) access(p *sim.Proc, st *stats.Proc, node int, addr mem.Addr) {
+	home := m.space.Home(addr)
+	if home == node {
+		st.Add(stats.Memory, m.costs.Mem)
+		p.Defer(m.costs.Mem)
+		return
+	}
+	now := p.Now()
+	req := m.net.Message(now, node, home)
+	t := req.Deliver + m.costs.Mem
+	rep := m.net.Message(t, home, node)
+	st.Messages += 2
+	st.NetBytes += uint64(m.costs.CtrlBytes + m.costs.DataBytes)
+	st.NetAccesses++
+	st.Add(stats.Latency, req.Latency+rep.Latency)
+	st.Add(stats.Contention, req.Wait+rep.Wait)
+	st.Add(stats.Memory, m.costs.Mem)
+	p.HoldUntil(rep.Deliver)
+}
+
+func (m *logpMachine) Read(p *sim.Proc, st *stats.Proc, node int, addr mem.Addr) {
+	st.Reads++
+	m.access(p, st, node, addr)
+}
+
+func (m *logpMachine) Write(p *sim.Proc, st *stats.Proc, node int, addr mem.Addr) {
+	st.Writes++
+	m.access(p, st, node, addr)
+}
+
+// Coherent is implemented by machines with caches (Target and CLogP),
+// exposing their coherence engine for invariant checks and inspection.
+type Coherent interface {
+	Engine() *coherence.Engine
+}
+
+// Networked is implemented by the Target machine, exposing its detailed
+// fabric (for fault injection and traffic inspection).
+type Networked interface {
+	Fabric() *network.Fabric
+}
+
+// cachedMachine wraps the shared coherence engine for Target and CLogP.
+type cachedMachine struct {
+	kind  Kind
+	space *mem.Space
+	eng   *coherence.Engine
+	fab   *network.Fabric // Target only
+	net   *logp.Net       // CLogP only
+}
+
+func (m *cachedMachine) Kind() Kind { return m.kind }
+func (m *cachedMachine) P() int     { return m.space.P() }
+
+// Engine exposes the coherence engine (for invariant checks in tests).
+func (m *cachedMachine) Engine() *coherence.Engine { return m.eng }
+
+// Fabric exposes the detailed network of a Target machine (nil otherwise).
+func (m *cachedMachine) Fabric() *network.Fabric { return m.fab }
+
+// Net exposes the abstract network of a CLogP machine (nil otherwise).
+func (m *cachedMachine) Net() *logp.Net { return m.net }
+
+func (m *cachedMachine) Read(p *sim.Proc, st *stats.Proc, node int, addr mem.Addr) {
+	m.eng.Read(p, st, node, addr)
+}
+
+func (m *cachedMachine) Write(p *sim.Proc, st *stats.Proc, node int, addr mem.Addr) {
+	m.eng.Write(p, st, node, addr)
+}
+
+// targetTransport prices every protocol message on the detailed fabric.
+type targetTransport struct {
+	fab *network.Fabric
+}
+
+func (t *targetTransport) Message(now sim.Time, src, dst, bytes int, class coherence.Class) coherence.Delivery {
+	x := t.fab.Reserve(now, src, dst, bytes)
+	return coherence.Delivery{At: x.End, Latency: x.Latency, Wait: x.Wait, Sent: true}
+}
+
+// clogpTransport prices only data-moving messages on the LogP network;
+// coherence-maintenance messages are absorbed for free — the ideal
+// coherent cache.
+type clogpTransport struct {
+	net *logp.Net
+}
+
+func (t *clogpTransport) Message(now sim.Time, src, dst, bytes int, class coherence.Class) coherence.Delivery {
+	if !class.MovesData() {
+		return coherence.Delivery{At: now}
+	}
+	x := t.net.Message(now, src, dst)
+	return coherence.Delivery{At: x.Deliver, Latency: x.Latency, Wait: x.Wait, Sent: true}
+}

@@ -1,0 +1,41 @@
+package network
+
+import (
+	"testing"
+
+	"spasm/internal/sim"
+)
+
+// BenchmarkRoute measures routing cost per topology at p=64.
+func BenchmarkRoute(b *testing.B) {
+	for _, topo := range topologies(64) {
+		topo := topo
+		b.Run(topo.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				src := i % 64
+				dst := (i*31 + 17) % 64
+				if src == dst {
+					dst = (dst + 1) % 64
+				}
+				_ = topo.Route(src, dst)
+			}
+		})
+	}
+}
+
+// BenchmarkReserve measures circuit reservation including contention
+// bookkeeping on the mesh (the longest routes).
+func BenchmarkReserve(b *testing.B) {
+	f := NewFabric(NewMesh(64))
+	now := sim.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := i % 64
+		dst := (i*31 + 17) % 64
+		if src == dst {
+			dst = (dst + 1) % 64
+		}
+		x := f.Reserve(now, src, dst, 32)
+		now = x.Start // keep times monotone without runaway backlog
+	}
+}

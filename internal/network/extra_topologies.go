@@ -1,0 +1,202 @@
+package network
+
+import "fmt"
+
+// Extension topologies beyond the paper's three: the unidirectional
+// ring and the 2-D torus (the k-ary n-cube family analysed by Dally,
+// whom the paper cites).  They slot into every experiment — the g
+// derivation from bisection bandwidth, the detailed fabric, and the
+// adaptive-g bisection predicate — so the abstraction-accuracy questions
+// can be asked of networks the paper did not measure.
+
+// Ring is a bidirectional ring: each node links to both neighbours, and
+// messages take the shorter way around (ties go clockwise).
+type Ring struct{ p int }
+
+// NewRing returns a bidirectional ring over p nodes.
+func NewRing(p int) *Ring { checkP(p); return &Ring{p: p} }
+
+// Ring link ids: node*2 is the clockwise link (to node+1), node*2+1 the
+// counter-clockwise link (to node-1).
+const (
+	cw = iota
+	ccw
+)
+
+func (r *Ring) Name() string  { return "ring" }
+func (r *Ring) P() int        { return r.p }
+func (r *Ring) NumLinks() int { return r.p * 2 }
+
+func (r *Ring) check(src, dst int) {
+	if src < 0 || src >= r.p || dst < 0 || dst >= r.p || src == dst {
+		panic(fmt.Sprintf("network: bad route %d -> %d on ring(%d)", src, dst, r.p))
+	}
+}
+
+// Route takes the shorter direction around the ring.
+func (r *Ring) Route(src, dst int) []int {
+	r.check(src, dst)
+	fwd := (dst - src + r.p) % r.p
+	var route []int
+	if fwd <= r.p-fwd { // clockwise (ties clockwise)
+		for n := src; n != dst; n = (n + 1) % r.p {
+			route = append(route, n*2+cw)
+		}
+	} else {
+		for n := src; n != dst; n = (n - 1 + r.p) % r.p {
+			route = append(route, n*2+ccw)
+		}
+	}
+	return route
+}
+
+func (r *Ring) LinkEnds(id int) (from, to int) {
+	from = id / 2
+	if id%2 == cw {
+		return from, (from + 1) % r.p
+	}
+	return from, (from - 1 + r.p) % r.p
+}
+
+func (r *Ring) Hops(src, dst int) int {
+	r.check(src, dst)
+	fwd := (dst - src + r.p) % r.p
+	if fwd <= r.p-fwd {
+		return fwd
+	}
+	return r.p - fwd
+}
+
+func (r *Ring) Diameter() int { return r.p / 2 }
+
+// BisectionLinks: cutting the ring in half severs two edges, each with a
+// link per direction.
+func (r *Ring) BisectionLinks() int {
+	if r.p == 2 {
+		return 2
+	}
+	return 4
+}
+
+// CrossesBisection splits the node set at p/2.
+func (r *Ring) CrossesBisection(src, dst int) bool {
+	return (src < r.p/2) != (dst < r.p/2)
+}
+
+// Torus is the 2-D torus: the paper's mesh with wraparound links, the
+// canonical k-ary 2-cube.  Routing is dimension-ordered, taking the
+// shorter way around each dimension.
+type Torus struct {
+	p, rows, cols int
+}
+
+// NewTorus returns a 2-D torus over p = 2^k nodes with the same aspect
+// ratio rule as the mesh.
+func NewTorus(p int) *Torus {
+	m := NewMesh(p)
+	return &Torus{p: p, rows: m.Rows(), cols: m.Cols()}
+}
+
+func (t *Torus) Name() string  { return "torus" }
+func (t *Torus) P() int        { return t.p }
+func (t *Torus) Rows() int     { return t.rows }
+func (t *Torus) Cols() int     { return t.cols }
+func (t *Torus) NumLinks() int { return t.p * 4 }
+
+func (t *Torus) node(r, c int) int       { return r*t.cols + c }
+func (t *Torus) coords(n int) (r, c int) { return n / t.cols, n % t.cols }
+
+func (t *Torus) check(src, dst int) {
+	if src < 0 || src >= t.p || dst < 0 || dst >= t.p || src == dst {
+		panic(fmt.Sprintf("network: bad route %d -> %d on torus(%d)", src, dst, t.p))
+	}
+}
+
+// shorter returns the signed step (+1/-1) and distance for the shorter
+// way from a to b modulo n (ties positive).
+func shorter(a, b, n int) (step, dist int) {
+	fwd := (b - a + n) % n
+	if fwd <= n-fwd {
+		return 1, fwd
+	}
+	return -1, n - fwd
+}
+
+// Route is X-first dimension-ordered with wraparound.
+func (t *Torus) Route(src, dst int) []int {
+	t.check(src, dst)
+	sr, sc := t.coords(src)
+	dr, dc := t.coords(dst)
+	var route []int
+	r, c := sr, sc
+	if step, dist := shorter(sc, dc, t.cols); dist > 0 {
+		for i := 0; i < dist; i++ {
+			if step > 0 {
+				route = append(route, t.node(r, c)*4+east)
+				c = (c + 1) % t.cols
+			} else {
+				route = append(route, t.node(r, c)*4+west)
+				c = (c - 1 + t.cols) % t.cols
+			}
+		}
+	}
+	if step, dist := shorter(sr, dr, t.rows); dist > 0 {
+		for i := 0; i < dist; i++ {
+			if step > 0 {
+				route = append(route, t.node(r, c)*4+south)
+				r = (r + 1) % t.rows
+			} else {
+				route = append(route, t.node(r, c)*4+north)
+				r = (r - 1 + t.rows) % t.rows
+			}
+		}
+	}
+	return route
+}
+
+func (t *Torus) LinkEnds(id int) (from, to int) {
+	from = id / 4
+	r, c := t.coords(from)
+	switch id % 4 {
+	case east:
+		c = (c + 1) % t.cols
+	case west:
+		c = (c - 1 + t.cols) % t.cols
+	case north:
+		r = (r - 1 + t.rows) % t.rows
+	default:
+		r = (r + 1) % t.rows
+	}
+	return from, t.node(r, c)
+}
+
+func (t *Torus) Hops(src, dst int) int {
+	t.check(src, dst)
+	sr, sc := t.coords(src)
+	dr, dc := t.coords(dst)
+	_, dx := shorter(sc, dc, t.cols)
+	_, dy := shorter(sr, dr, t.rows)
+	return dx + dy
+}
+
+func (t *Torus) Diameter() int { return t.rows/2 + t.cols/2 }
+
+// BisectionLinks: the vertical cut through the column halves severs two
+// column boundaries (the cut itself and the wraparound), each crossed by
+// one link per row per direction: 4 * rows.  A 1-row torus degenerates
+// to a ring.
+func (t *Torus) BisectionLinks() int {
+	if t.cols == 2 {
+		// The cut and the wraparound are the same pair of columns;
+		// count each directed link once.
+		return 2 * t.rows
+	}
+	return 4 * t.rows
+}
+
+// CrossesBisection splits between the two column halves.
+func (t *Torus) CrossesBisection(src, dst int) bool {
+	_, sc := t.coords(src)
+	_, dc := t.coords(dst)
+	return (sc < t.cols/2) != (dc < t.cols/2)
+}

@@ -1,0 +1,132 @@
+package network
+
+import (
+	"fmt"
+
+	"spasm/internal/sim"
+)
+
+// Fabric adds timing and contention to a Topology.  Messages are
+// circuit-switched: a message occupies its source's injection port, every
+// link on its route, and its destination's ejection port from the moment
+// the circuit is established until the last byte has been transmitted.
+// With wormhole routing on serial links and negligible switching delay,
+// the transmission occupies the circuit for bytes * ByteTime (+ an
+// optional per-hop switch delay, zero by default as in the paper).
+type Fabric struct {
+	topo Topology
+
+	// ByteTime is the per-byte transmission time of a serial link
+	// (defaults to sim.SerialByte, i.e. 20 MB/s).
+	ByteTime sim.Time
+	// SwitchDelay is the per-hop circuit-establishment delay.  The
+	// paper assumes it negligible and ignores it; it is configurable
+	// for sensitivity studies.
+	SwitchDelay sim.Time
+
+	linkFree []sim.Time
+	injFree  []sim.Time
+	ejFree   []sim.Time
+
+	// slow maps degraded links to their slowdown factor (fault
+	// injection: a link that transmits N times slower than nominal).
+	slow map[int]int
+
+	// Messages and Bytes count all traffic carried by the fabric.
+	Messages uint64
+	Bytes    uint64
+}
+
+// NewFabric returns a fabric over the given topology with the paper's
+// link parameters (20 MB/s serial links, zero switching delay).
+func NewFabric(t Topology) *Fabric {
+	return &Fabric{
+		topo:     t,
+		ByteTime: sim.SerialByte,
+		linkFree: make([]sim.Time, t.NumLinks()),
+		injFree:  make([]sim.Time, t.P()),
+		ejFree:   make([]sim.Time, t.P()),
+	}
+}
+
+// Topology returns the underlying topology.
+func (f *Fabric) Topology() Topology { return f.topo }
+
+// Degrade marks a directed link as transmitting factor times slower than
+// nominal (factor >= 1): fault injection for studying what per-link
+// detail the abstract network models cannot see.
+func (f *Fabric) Degrade(link, factor int) {
+	if link < 0 || link >= len(f.linkFree) {
+		panic(fmt.Sprintf("network: Degrade of link %d out of range", link))
+	}
+	if factor < 1 {
+		panic(fmt.Sprintf("network: Degrade factor %d < 1", factor))
+	}
+	if f.slow == nil {
+		f.slow = make(map[int]int)
+	}
+	f.slow[link] = factor
+}
+
+// Xmit is the result of reserving the fabric for one message.
+type Xmit struct {
+	Start sim.Time // when the circuit was established
+	End   sim.Time // when the last byte arrived
+	// Latency is the contention-free transmission time (End - Start).
+	Latency sim.Time
+	// Wait is the time the message waited for resources (Start - the
+	// requested departure time); it is charged to contention.
+	Wait sim.Time
+}
+
+// Reserve books the circuit for a message of the given size from src to
+// dst, departing no earlier than now.  It updates resource availability
+// and returns the transmission schedule; the caller is responsible for
+// advancing its process to Xmit.End and for accounting.
+func (f *Fabric) Reserve(now sim.Time, src, dst, bytes int) Xmit {
+	if bytes <= 0 {
+		panic(fmt.Sprintf("network: message of %d bytes", bytes))
+	}
+	route := f.topo.Route(src, dst)
+	dur := sim.Time(bytes)*f.ByteTime + sim.Time(len(route))*f.SwitchDelay
+	if f.slow != nil {
+		// A circuit is only as fast as its slowest link.
+		worst := 1
+		for _, l := range route {
+			if s, ok := f.slow[l]; ok && s > worst {
+				worst = s
+			}
+		}
+		dur *= sim.Time(worst)
+	}
+
+	start := now
+	if t := f.injFree[src]; t > start {
+		start = t
+	}
+	if t := f.ejFree[dst]; t > start {
+		start = t
+	}
+	for _, l := range route {
+		if t := f.linkFree[l]; t > start {
+			start = t
+		}
+	}
+	end := start + dur
+	f.injFree[src] = end
+	f.ejFree[dst] = end
+	for _, l := range route {
+		f.linkFree[l] = end
+	}
+	f.Messages++
+	f.Bytes += uint64(bytes)
+	return Xmit{Start: start, End: end, Latency: dur, Wait: start - now}
+}
+
+// Send transmits a message on behalf of process p, blocking it until the
+// last byte arrives, and returns the transmission schedule.
+func (f *Fabric) Send(p *sim.Proc, src, dst, bytes int) Xmit {
+	x := f.Reserve(p.Now(), src, dst, bytes)
+	p.HoldUntil(x.End)
+	return x
+}

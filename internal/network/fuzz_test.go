@@ -1,0 +1,41 @@
+package network
+
+import "testing"
+
+// FuzzRoutes checks, for arbitrary (topology, p, src, dst) choices, that
+// routing never panics on valid inputs and always produces a connected
+// route of the advertised length.
+func FuzzRoutes(f *testing.F) {
+	f.Add(uint8(0), uint8(3), uint8(1), uint8(7))
+	f.Add(uint8(4), uint8(6), uint8(63), uint8(0))
+	f.Fuzz(func(t *testing.T, topoSel, logP, srcRaw, dstRaw uint8) {
+		names := Names()
+		name := names[int(topoSel)%len(names)]
+		p := 1 << (1 + int(logP)%6) // 2..64
+		topo, err := New(name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := int(srcRaw) % p
+		dst := int(dstRaw) % p
+		if src == dst {
+			return
+		}
+		route := topo.Route(src, dst)
+		if len(route) != topo.Hops(src, dst) {
+			t.Fatalf("%s(%d): route %d->%d length %d != hops %d",
+				name, p, src, dst, len(route), topo.Hops(src, dst))
+		}
+		cur := src
+		for _, l := range route {
+			from, to := topo.LinkEnds(l)
+			if from != cur {
+				t.Fatalf("%s(%d): disconnected route at link %d", name, p, l)
+			}
+			cur = to
+		}
+		if cur != dst {
+			t.Fatalf("%s(%d): route ends at %d, want %d", name, p, cur, dst)
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"spasm/internal/exp"
+)
+
+// Chart renders a figure as an ASCII line chart: the x axis is the
+// processor sweep (log scale, as in the paper), the y axis the metric in
+// microseconds.  Each machine's curve is drawn with its marker letter
+// (T = Target, L = LogP, C = LogP+Cache) joined by light line segments.
+func Chart(fr *exp.FigureResult, width, height int) string {
+	if width < 30 {
+		width = 30
+	}
+	if height < 8 {
+		height = 8
+	}
+	const margin = 10 // room for y labels
+	plotW := width - margin - 1
+	plotH := height - 3 // room for x axis + labels + legend
+
+	// Value range across all series (y starts at zero, as the paper's
+	// overhead figures do).
+	var ymax float64
+	for _, s := range fr.Series {
+		for _, pt := range s.Points {
+			if pt.Value > ymax {
+				ymax = pt.Value
+			}
+		}
+	}
+	if ymax <= 0 {
+		ymax = 1
+	}
+
+	grid := make([][]byte, plotH)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", plotW))
+	}
+
+	n := 0
+	if len(fr.Series) > 0 {
+		n = len(fr.Series[0].Points)
+	}
+	xAt := func(i int) int {
+		if n <= 1 {
+			return 0
+		}
+		return i * (plotW - 1) / (n - 1)
+	}
+	yAt := func(v float64) int {
+		r := plotH - 1 - int(math.Round(v/ymax*float64(plotH-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= plotH {
+			r = plotH - 1
+		}
+		return r
+	}
+
+	// Draw each series: segments first, then markers on top.
+	for _, s := range fr.Series {
+		_, marker := machineLabel(s.Machine)
+		for i := 1; i < len(s.Points); i++ {
+			x0, y0 := xAt(i-1), yAt(s.Points[i-1].Value)
+			x1, y1 := xAt(i), yAt(s.Points[i].Value)
+			drawSegment(grid, x0, y0, x1, y1, segmentChar(y0, y1))
+		}
+		for i, pt := range s.Points {
+			grid[yAt(pt.Value)][xAt(i)] = marker
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", figureLabel(fr.Figure), fr.Figure.Caption())
+	for r := 0; r < plotH; r++ {
+		var label string
+		switch r {
+		case 0:
+			label = trimNum(ymax)
+		case plotH - 1:
+			label = "0"
+		case plotH / 2:
+			label = trimNum(ymax / 2)
+		}
+		fmt.Fprintf(&b, "%8s |%s\n", label, string(grid[r]))
+	}
+	b.WriteString(strings.Repeat(" ", 9) + "+" + strings.Repeat("-", plotW) + "\n")
+	// x labels at each sweep position.
+	xlab := []byte(strings.Repeat(" ", plotW))
+	for i := 0; i < n; i++ {
+		lab := fmt.Sprint(fr.Series[0].Points[i].P)
+		x := xAt(i)
+		if x+len(lab) > plotW { // keep the last label fully visible
+			x = plotW - len(lab)
+		}
+		for k := 0; k < len(lab); k++ {
+			xlab[x+k] = lab[k]
+		}
+	}
+	b.WriteString(strings.Repeat(" ", 10) + string(xlab) + "\n")
+	// Legend.
+	var legend []string
+	for _, s := range fr.Series {
+		name, marker := machineLabel(s.Machine)
+		legend = append(legend, fmt.Sprintf("%c=%s", marker, name))
+	}
+	b.WriteString(strings.Repeat(" ", 10) + "procs   [" + strings.Join(legend, "  ") + "]  (us)\n")
+	return b.String()
+}
+
+func trimNum(v float64) string {
+	if v >= 1000 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func segmentChar(y0, y1 int) byte {
+	switch {
+	case y0 == y1:
+		return '-'
+	case y1 < y0:
+		return '/'
+	default:
+		return '\\'
+	}
+}
+
+// drawSegment joins two grid points with a crude Bresenham line, leaving
+// existing markers intact.
+func drawSegment(grid [][]byte, x0, y0, x1, y1 int, ch byte) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	x, y := x0, y0
+	for {
+		if y >= 0 && y < len(grid) && x >= 0 && x < len(grid[0]) && grid[y][x] == ' ' {
+			grid[y][x] = ch
+		}
+		if x == x1 && y == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

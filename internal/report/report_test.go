@@ -1,0 +1,129 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"spasm/internal/exp"
+	"spasm/internal/machine"
+)
+
+// syntheticFigure builds a FigureResult without running simulations.
+func syntheticFigure() *exp.FigureResult {
+	fig, _ := exp.ByNumber(7) // IS on Mesh: Contention
+	fr := &exp.FigureResult{Figure: fig}
+	for i, kind := range []machine.Kind{machine.LogP, machine.CLogP, machine.Target} {
+		s := exp.Series{Machine: kind}
+		for j, p := range []int{2, 4, 8, 16} {
+			s.Points = append(s.Points, exp.Point{
+				P:     p,
+				Value: float64((i + 1) * (j + 1) * 100),
+			})
+		}
+		fr.Series = append(fr.Series, s)
+	}
+	return fr
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "demo", Headers: []string{"a", "bbbb"}}
+	tb.Add(1, 2.5)
+	tb.Add("xx", 100.0)
+	out := tb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "bbbb") {
+		t.Errorf("missing title/header:\n%s", out)
+	}
+	if !strings.Contains(out, "2.5") || !strings.Contains(out, "100.0") {
+		t.Errorf("missing float formatting:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("%d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	out := FigureTable(syntheticFigure()).String()
+	for _, want := range []string{"Figure 7", "IS on Mesh: Contention", "LogP+Cache", "Target", "16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	out := FigureCSV(syntheticFigure())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("%d CSV lines, want 5:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "figure,app,topology,metric,procs") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "7,is,mesh,contention,2,") {
+		t.Errorf("row = %q", lines[1])
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != 7 {
+			t.Errorf("row %q has %d commas, want 7", l, got)
+		}
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	out := Chart(syntheticFigure(), 72, 20)
+	for _, want := range []string{"Figure 7", "T=Target", "L=LogP", "C=LogP+Cache", "procs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// All three markers must appear in the plot area.
+	for _, m := range []string{"T", "L", "C"} {
+		if strings.Count(out, m) < 2 {
+			t.Errorf("marker %s missing from chart:\n%s", m, out)
+		}
+	}
+	// x labels present.
+	if !strings.Contains(out, "16") {
+		t.Errorf("missing x label:\n%s", out)
+	}
+}
+
+func TestChartMinimumDimensions(t *testing.T) {
+	out := Chart(syntheticFigure(), 1, 1) // clamped, must not panic
+	if len(out) == 0 {
+		t.Error("empty chart")
+	}
+}
+
+func TestChartMonotoneSeriesOrdering(t *testing.T) {
+	// The highest curve's marker (LogP here would be lowest... use
+	// Target = 3x values) must appear above the lowest curve at the
+	// last column.
+	fr := syntheticFigure()
+	out := Chart(fr, 72, 24)
+	lines := strings.Split(out, "\n")
+	rowOf := func(marker byte) int {
+		for i, l := range lines {
+			if strings.LastIndexByte(l, marker) > 20 {
+				return i
+			}
+		}
+		return -1
+	}
+	// Target has the largest values -> its marker appears on an
+	// earlier (higher) line than LogP's (smallest values).
+	if rt, rl := rowOf('T'), rowOf('L'); rt == -1 || rl == -1 || rt > rl {
+		t.Errorf("series vertical order wrong: T at %d, L at %d\n%s", rt, rl, out)
+	}
+}
+
+func TestEmptyFigure(t *testing.T) {
+	fr := &exp.FigureResult{Figure: exp.Figures[0]}
+	if out := FigureTable(fr).String(); out == "" {
+		t.Error("empty table output")
+	}
+	if out := FigureCSV(fr); !strings.Contains(out, "figure,") {
+		t.Error("empty CSV missing header")
+	}
+}

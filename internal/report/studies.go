@@ -1,0 +1,112 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"spasm/internal/app"
+	"spasm/internal/exp"
+	"spasm/internal/stats"
+)
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Headers)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CostTable renders a simulation-cost comparison.
+func CostTable(rows []exp.CostRow) *Table {
+	t := &Table{
+		Title:   "Simulation cost by machine characterization",
+		Headers: []string{"machine", "events", "wall"},
+	}
+	for _, r := range rows {
+		name, _ := machineLabel(r.Machine)
+		t.Add(name, r.Events, r.Wall.String())
+	}
+	return t
+}
+
+// AblationTable renders the gap-discipline ablation.
+func AblationTable(rows []exp.AblationRow) *Table {
+	t := &Table{
+		Title:   "g-discipline ablation — FFT on cube, contention (us)",
+		Headers: []string{"procs", "target", "combined", "per-class"},
+	}
+	for _, r := range rows {
+		t.Add(r.P, r.Target, r.CombinedGap, r.PerClassGap)
+	}
+	return t
+}
+
+// GapParamTable renders the g-parameter table.
+func GapParamTable(rows []exp.GapRow) *Table {
+	t := &Table{
+		Title:   "g parameters from per-processor bisection bandwidth (us)",
+		Headers: []string{"topology", "procs", "g_us"},
+	}
+	for _, r := range rows {
+		t.Add(r.Topology, r.P, fmt.Sprintf("%.3f", r.G.Micros()))
+	}
+	return t
+}
+
+// SpeedupTable renders a scalability curve.
+func SpeedupTable(app string, rows []exp.SpeedupRow) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Scalability of %s (ideal-machine baseline)", app),
+		Headers: []string{"procs", "exec_us", "ideal_us", "speedup", "algo_speedup", "efficiency"},
+	}
+	for _, r := range rows {
+		t.Add(r.P, r.Exec, r.IdealExec,
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%.2fx", r.AlgorithmicSpeedup),
+			fmt.Sprintf("%.0f%%", 100*r.Efficiency))
+	}
+	return t
+}
+
+// PhaseTable renders a run's per-phase overhead separation — SPASM's
+// answer to "which part of the program causes the contention".
+func PhaseTable(pp *app.PhaseProfile) *Table {
+	t := &Table{
+		Title: "Per-phase overhead separation (sums across processors, us)",
+		Headers: []string{"phase", "visits", "wall_us", "compute", "memory",
+			"latency", "contention", "sync"},
+	}
+	for _, ps := range pp.Phases() {
+		t.Add(ps.Name, ps.Visits,
+			ps.Wall.Micros(),
+			ps.Time[stats.Compute].Micros(),
+			ps.Time[stats.Memory].Micros(),
+			ps.Time[stats.Latency].Micros(),
+			ps.Time[stats.Contention].Micros(),
+			ps.Time[stats.Sync].Micros())
+	}
+	return t
+}
+
+// ProtocolTable renders the coherence-protocol comparison.
+func ProtocolTable(rows []exp.ProtocolRow) *Table {
+	t := &Table{
+		Title:   "Coherence-protocol sensitivity (target execution time, us)",
+		Headers: []string{"app", "berkeley", "msi", "update", "clogp", "msi/berkeley"},
+	}
+	for _, r := range rows {
+		ratio := 0.0
+		if r.Berkeley > 0 {
+			ratio = r.MSI / r.Berkeley
+		}
+		t.Add(r.App, r.Berkeley, r.MSI, r.Update, r.CLogP, fmt.Sprintf("%.2fx", ratio))
+	}
+	return t
+}

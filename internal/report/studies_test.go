@@ -1,0 +1,64 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"spasm/internal/exp"
+	"spasm/internal/machine"
+	"spasm/internal/sim"
+)
+
+func TestMarkdownTable(t *testing.T) {
+	tb := &Table{Title: "demo", Headers: []string{"a", "b"}}
+	tb.Add(1, 2.5)
+	out := tb.Markdown()
+	for _, want := range []string{"**demo**", "| a | b |", "| --- | --- |", "| 1 | 2.5 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCostTable(t *testing.T) {
+	rows := []exp.CostRow{
+		{Machine: machine.LogP, Events: 100, Wall: time.Second},
+		{Machine: machine.Target, Events: 50, Wall: time.Millisecond},
+	}
+	out := CostTable(rows).String()
+	for _, want := range []string{"LogP", "Target", "100", "1s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cost table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationAndGapTables(t *testing.T) {
+	ab := AblationTable([]exp.AblationRow{{P: 8, Target: 1, CombinedGap: 2, PerClassGap: 1.5}}).String()
+	if !strings.Contains(ab, "per-class") || !strings.Contains(ab, "8") {
+		t.Errorf("ablation table:\n%s", ab)
+	}
+	gp := GapParamTable([]exp.GapRow{{Topology: "mesh", P: 16, G: sim.Micros(3.2)}}).String()
+	if !strings.Contains(gp, "3.200") {
+		t.Errorf("gap table:\n%s", gp)
+	}
+}
+
+func TestSpeedupTable(t *testing.T) {
+	rows := []exp.SpeedupRow{{P: 4, Exec: 100, IdealExec: 50, Speedup: 2, AlgorithmicSpeedup: 4, Efficiency: 0.5}}
+	out := SpeedupTable("cg", rows).String()
+	for _, want := range []string{"cg", "2.00x", "4.00x", "50%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("speedup table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProtocolTable(t *testing.T) {
+	rows := []exp.ProtocolRow{{App: "is", Berkeley: 100, MSI: 120, CLogP: 90}}
+	out := ProtocolTable(rows).String()
+	if !strings.Contains(out, "1.20x") || !strings.Contains(out, "is") {
+		t.Errorf("protocol table:\n%s", out)
+	}
+}

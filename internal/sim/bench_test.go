@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkEventDispatch measures raw engine throughput: one process
+// holding repeatedly (event schedule + heap pop + context switch).
+func BenchmarkEventDispatch(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Hold(10)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkDefer measures the lazy local-clock fast path.
+func BenchmarkDefer(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Defer(10)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkManyProcesses measures heap behaviour with a wide event queue.
+func BenchmarkManyProcesses(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < 64; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for k := 0; k < b.N/64+1; k++ {
+				p.Hold(Time(7 + i%13))
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkLockHandoff measures contended lock transfer cost.
+func BenchmarkLockHandoff(b *testing.B) {
+	e := NewEngine()
+	var l Lock
+	for i := 0; i < 8; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for k := 0; k < b.N/8+1; k++ {
+				l.Acquire(p)
+				p.Hold(1)
+				l.Release(p)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBarrierEpisode measures a full barrier episode for 16 parties.
+func BenchmarkBarrierEpisode(b *testing.B) {
+	e := NewEngine()
+	bar := NewBarrier(16)
+	for i := 0; i < 16; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for k := 0; k < b.N; k++ {
+				p.Hold(Time(1 + i%5))
+				bar.Arrive(p)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

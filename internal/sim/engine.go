@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// event is a scheduled resumption of a process.
+type event struct {
+	at  Time
+	seq uint64 // creation order; breaks timestamp ties deterministically
+	p   *Proc
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulation kernel.  Create one
+// with NewEngine, add processes with Spawn, then call Run.
+//
+// An Engine is not safe for concurrent use; all interaction happens either
+// before Run or from within simulated processes (which the engine runs one
+// at a time).
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+
+	yield   chan struct{} // running proc hands control back on this
+	nLive   int           // spawned but not yet terminated processes
+	procs   []*Proc
+	running *Proc
+	failure error // first process panic, converted to a run error
+
+	// Events counts every event dispatched by Run.  It is the
+	// simulator-cost metric used by the paper's "speed of simulation"
+	// comparison (more simulated events = slower simulation).
+	Events uint64
+
+	// MaxTime, when positive, aborts Run with a *TimeLimitError once
+	// the simulated clock passes it — a watchdog against runaway
+	// simulations (livelocked spin loops, mis-sized workloads).
+	MaxTime Time
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Procs returns the processes spawned on the engine, in spawn order.
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+// schedule enqueues a resumption of p at time at (>= now).
+func (e *Engine) schedule(at Time, p *Proc) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %v < now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, p: p})
+}
+
+// Spawn creates a simulated process executing fn and schedules it to start
+// at the current simulation time.  It may be called before Run or from
+// inside a running process.  The returned Proc is also passed to fn.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		ID:     len(e.procs),
+		Name:   name,
+		eng:    e,
+		resume: make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	e.nLive++
+	go func() {
+		<-p.resume // wait for the engine to dispatch our start event
+		defer func() {
+			if r := recover(); r != nil && e.failure == nil {
+				e.failure = fmt.Errorf("sim: process %q panicked at %v: %v", p.Name, e.now, r)
+			}
+			p.terminated = true
+			e.nLive--
+			e.yield <- struct{}{} // hand control back; goroutine exits
+		}()
+		fn(p)
+	}()
+	e.schedule(e.now, p)
+	return p
+}
+
+// Run dispatches events until none remain.  It returns a *DeadlockError
+// if processes are still alive (parked forever) when the event queue
+// drains, and nil when every process has terminated.
+func (e *Engine) Run() error {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.p.terminated {
+			continue // stale wakeup for a finished process
+		}
+		e.now = ev.at
+		if e.MaxTime > 0 && e.now > e.MaxTime {
+			return &TimeLimitError{Limit: e.MaxTime, At: e.now}
+		}
+		e.Events++
+		e.running = ev.p
+		ev.p.parked = false
+		ev.p.resume <- struct{}{}
+		<-e.yield
+		e.running = nil
+		if e.failure != nil {
+			return e.failure
+		}
+	}
+	if e.nLive > 0 {
+		return e.deadlock()
+	}
+	return nil
+}
+
+func (e *Engine) deadlock() *DeadlockError {
+	var stuck []string
+	for _, p := range e.procs {
+		if !p.terminated {
+			stuck = append(stuck, p.Name)
+		}
+	}
+	sort.Strings(stuck)
+	return &DeadlockError{At: e.now, Procs: stuck}
+}
+
+// DeadlockError reports that the event queue drained while processes were
+// still blocked, i.e. the simulated program deadlocked.
+type DeadlockError struct {
+	At    Time     // simulation time at which progress stopped
+	Procs []string // names of the blocked processes
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: blocked processes: %s",
+		d.At, strings.Join(d.Procs, ", "))
+}
+
+// TimeLimitError reports that the simulation exceeded Engine.MaxTime.
+type TimeLimitError struct {
+	Limit Time
+	At    Time
+}
+
+func (t *TimeLimitError) Error() string {
+	return fmt.Sprintf("sim: simulated time %v exceeded the %v limit", t.At, t.Limit)
+}

@@ -1,0 +1,119 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process.  Its methods must be called only from
+// within the process's own function (the engine guarantees one process
+// runs at a time, so this is naturally the case).
+//
+// Each process carries a *local clock* that may run ahead of the global
+// event clock: purely local work (instruction blocks, cache hits) is
+// accumulated with Defer and folded into the next real event, exactly as
+// an execution-driven simulator runs local instructions at native speed
+// and schedules only the shared events.  Now always reports the local
+// clock, so timing is unaffected; only the number of engine events (and
+// hence the cost of simulation) changes.
+type Proc struct {
+	ID   int
+	Name string
+
+	eng        *Engine
+	resume     chan struct{}
+	parked     bool
+	terminated bool
+	lag        Time // local clock advance not yet materialized
+}
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports the process's local simulated time (the global event time
+// plus any deferred local work).
+func (p *Proc) Now() Time { return p.eng.now + p.lag }
+
+// block yields control to the engine and waits to be resumed.
+func (p *Proc) block() {
+	p.eng.yield <- struct{}{}
+	<-p.resume
+}
+
+// Defer advances the process's local clock by d without scheduling an
+// engine event.  The deferred time is folded into the next Hold, Park or
+// Yield.  Use it for work that cannot interact with other processes.
+func (p *Proc) Defer(d Time) {
+	if d > 0 {
+		p.lag += d
+	}
+}
+
+// Lag returns the process's deferred local time (exposed for tests).
+func (p *Proc) Lag() Time { return p.lag }
+
+// FlushLag materializes any deferred local time as a real event,
+// advancing the global clock to the process's local clock.  Synchroniz-
+// ation objects call it BEFORE inserting the process into a wait queue:
+// a process must never sit in a waiter list while it still owes the
+// engine a flush event, or a waker could try to Wake it mid-flush.
+func (p *Proc) FlushLag() {
+	if p.lag > 0 {
+		d := p.lag
+		p.lag = 0
+		p.eng.schedule(p.eng.now+d, p)
+		p.block()
+	}
+}
+
+// Hold advances the process's local activity by d units of simulated
+// time: the process sleeps and other processes run in the interim.  Any
+// deferred local time is folded into the same event.  A non-positive d
+// still flushes deferred time.
+func (p *Proc) Hold(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	if d+p.lag <= 0 {
+		return
+	}
+	at := p.eng.now + p.lag + d
+	p.lag = 0
+	p.eng.schedule(at, p)
+	p.block()
+}
+
+// HoldUntil sleeps until absolute local time t (no-op if t <= Now()).
+func (p *Proc) HoldUntil(t Time) {
+	if t <= p.Now() {
+		return
+	}
+	p.lag = 0
+	p.eng.schedule(t, p)
+	p.block()
+}
+
+// Park blocks the process indefinitely; some other process must Wake it.
+// Callers that enqueue the process on a wait list must FlushLag before
+// enqueueing (see Queue.Wait); Park itself must not flush, because by
+// the time it runs the process may already be visible to wakers.
+func (p *Proc) Park() {
+	p.parked = true
+	p.block()
+}
+
+// Wake schedules a parked process to resume at the current simulated
+// time.  Waking a process that is not parked panics: that is always a
+// bookkeeping bug in a synchronization object.
+func (p *Proc) Wake() {
+	if !p.parked {
+		panic(fmt.Sprintf("sim: Wake of non-parked process %q", p.Name))
+	}
+	p.eng.schedule(p.eng.now, p)
+}
+
+// Yield reschedules the process at its current local time behind any
+// other process already scheduled there, giving them a chance to run.
+func (p *Proc) Yield() {
+	at := p.eng.now + p.lag
+	p.lag = 0
+	p.eng.schedule(at, p)
+	p.block()
+}

@@ -1,0 +1,168 @@
+// Package sparse provides the sparse-matrix substrate for the CG and
+// CHOLESKY applications: CSR symmetric positive-definite matrices, a
+// seeded synthetic generator (the stand-in for the NAS/SPLASH inputs,
+// which are not redistributable), symbolic Cholesky factorization
+// (elimination structure), and reference numeric kernels used to verify
+// the simulated applications' results.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// CSR is a square sparse matrix in compressed-sparse-row form.
+type CSR struct {
+	N      int
+	RowPtr []int     // len N+1
+	Col    []int     // len NNZ, column indices, sorted within each row
+	Val    []float64 // len NNZ
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Col) }
+
+// Row returns the column indices and values of row i.
+func (m *CSR) Row(i int) ([]int, []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.Col[lo:hi], m.Val[lo:hi]
+}
+
+// At returns element (i, j), zero if not stored.
+func (m *CSR) At(i, j int) float64 {
+	cols, vals := m.Row(i)
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		return vals[k]
+	}
+	return 0
+}
+
+// MulVec computes y = M x (host-side reference kernel).
+func (m *CSR) MulVec(x, y []float64) {
+	if len(x) != m.N || len(y) != m.N {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.N; i++ {
+		cols, vals := m.Row(i)
+		var s float64
+		for k, j := range cols {
+			s += vals[k] * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// Validate checks structural consistency: monotone RowPtr, in-range and
+// sorted columns.
+func (m *CSR) Validate() error {
+	if len(m.RowPtr) != m.N+1 {
+		return fmt.Errorf("sparse: RowPtr length %d for N=%d", len(m.RowPtr), m.N)
+	}
+	if m.RowPtr[0] != 0 || m.RowPtr[m.N] != len(m.Col) || len(m.Col) != len(m.Val) {
+		return fmt.Errorf("sparse: inconsistent RowPtr/Col/Val lengths")
+	}
+	for i := 0; i < m.N; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			return fmt.Errorf("sparse: RowPtr not monotone at row %d", i)
+		}
+		cols, _ := m.Row(i)
+		for k, j := range cols {
+			if j < 0 || j >= m.N {
+				return fmt.Errorf("sparse: row %d has column %d out of range", i, j)
+			}
+			if k > 0 && cols[k-1] >= j {
+				return fmt.Errorf("sparse: row %d columns not strictly sorted", i)
+			}
+		}
+	}
+	return nil
+}
+
+// IsSymmetric reports whether the stored pattern and values are
+// symmetric.
+func (m *CSR) IsSymmetric() bool {
+	for i := 0; i < m.N; i++ {
+		cols, vals := m.Row(i)
+		for k, j := range cols {
+			if m.At(j, i) != vals[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RandomSPD generates a random symmetric positive-definite matrix of
+// order n: a tridiagonal band plus `extra` random symmetric off-diagonal
+// pairs per row, made strictly diagonally dominant (hence SPD).  The
+// generator is fully determined by seed, standing in for the NAS CG and
+// SPLASH TRI input matrices.
+func RandomSPD(n, extra int, seed int64) *CSR {
+	if n < 1 {
+		panic("sparse: RandomSPD with n < 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	offDiag := make([]map[int]float64, n)
+	for i := range offDiag {
+		offDiag[i] = make(map[int]float64)
+	}
+	put := func(i, j int, v float64) {
+		if i == j {
+			return
+		}
+		offDiag[i][j] = v
+		offDiag[j][i] = v
+	}
+	for i := 0; i+1 < n; i++ {
+		put(i, i+1, -(0.1 + rng.Float64()))
+	}
+	for i := 0; i < n; i++ {
+		for e := 0; e < extra; e++ {
+			j := rng.Intn(n)
+			if j != i {
+				put(i, j, -(0.05 + 0.5*rng.Float64()))
+			}
+		}
+	}
+	m := &CSR{N: n, RowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		cols := make([]int, 0, len(offDiag[i])+1)
+		for j := range offDiag[i] {
+			cols = append(cols, j)
+		}
+		cols = append(cols, i)
+		sort.Ints(cols)
+		var rowSum float64
+		for _, j := range cols {
+			if j != i {
+				rowSum += math.Abs(offDiag[i][j])
+			}
+		}
+		for _, j := range cols {
+			m.Col = append(m.Col, j)
+			if j == i {
+				m.Val = append(m.Val, rowSum+1.0+rng.Float64())
+			} else {
+				m.Val = append(m.Val, offDiag[i][j])
+			}
+		}
+		m.RowPtr[i+1] = len(m.Col)
+	}
+	return m
+}
+
+// Residual returns max_i |b - A x|_i (host-side verification helper).
+func Residual(a *CSR, x, b []float64) float64 {
+	ax := make([]float64, a.N)
+	a.MulVec(x, ax)
+	var worst float64
+	for i := range ax {
+		if d := math.Abs(b[i] - ax[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

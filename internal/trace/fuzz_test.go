@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"spasm/internal/mem"
+	"spasm/internal/sim"
+)
+
+// FuzzDecode feeds arbitrary bytes to the trace decoder: it must never
+// panic, and anything it accepts must round-trip through Encode.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid trace and a few mutations.
+	valid := &Trace{
+		P: 2,
+		Regions: []Region{
+			{Name: "x", N: 8, ElemSize: 8, Policy: mem.Blocked},
+		},
+		Events: []Event{
+			{Proc: 0, Addr: 0, At: 10, Done: 12},
+			{Proc: 1, Write: true, Addr: 8, At: 20, Done: 25},
+		},
+	}
+	var buf bytes.Buffer
+	if err := valid.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("SPAS"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode and decode to the same
+		// thing.
+		var out bytes.Buffer
+		if err := tr.Encode(&out); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		tr2, err := Decode(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if tr2.P != tr.P || len(tr2.Events) != len(tr.Events) || len(tr2.Regions) != len(tr.Regions) {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", tr2, tr)
+		}
+	})
+}
+
+var _ = sim.Time(0)

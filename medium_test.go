@@ -1,0 +1,83 @@
+package spasm
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMediumScaleLightApps always exercises the Medium problem sizes for
+// the cheaper applications, so the largest configurations documented in
+// the README are continuously verified.
+func TestMediumScaleLightApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium scale skipped in -short mode")
+	}
+	for _, name := range []string{"ep", "fft"} {
+		res, err := Run(name, Medium, 1, Config{Kind: CLogP, Topology: "cube", P: 16})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Stats.Total <= 0 {
+			t.Errorf("%s: empty run", name)
+		}
+	}
+}
+
+// TestFullSweepDashboardBands regenerates the complete small-scale
+// evaluation (the EXPERIMENTS.md configuration) and asserts the
+// documented accuracy-dashboard bands; enable with SPASM_LONG=1
+// (~40 s).
+func TestFullSweepDashboardBands(t *testing.T) {
+	if os.Getenv("SPASM_LONG") == "" {
+		t.Skip("set SPASM_LONG=1 to regenerate the full small-scale evaluation")
+	}
+	s := NewSession(Options{Scale: Small, Parallel: 8})
+	frs, err := s.AllFigures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sum := range Summarize(Accuracy(frs)) {
+		switch sum.Metric {
+		case LatencyOvh:
+			if sum.CLogPRatio < 1.1 || sum.CLogPRatio > 1.8 {
+				t.Errorf("latency CLogP ratio %.2f outside the documented [1.1, 1.8]", sum.CLogPRatio)
+			}
+			if sum.CLogPTrendPct != 100 {
+				t.Errorf("latency CLogP trend agreement %.0f%%, documented 100%%", sum.CLogPTrendPct)
+			}
+			if sum.LogPRatio < 3.5 {
+				t.Errorf("LogP latency ratio %.2f below the documented ~4.9x band", sum.LogPRatio)
+			}
+		case ContentionOvh:
+			if sum.CLogPRatio < 1.5 || sum.CLogPRatio > 4.5 {
+				t.Errorf("contention CLogP ratio %.2f outside [1.5, 4.5]", sum.CLogPRatio)
+			}
+		case ExecTime:
+			if sum.LogPTrendPct > 60 {
+				t.Errorf("LogP exec trend agreement %.0f%% — the paper's shape-loss finding weakened", sum.LogPTrendPct)
+			}
+			if sum.CLogPTrendPct < sum.LogPTrendPct {
+				t.Error("CLogP exec trends worse than LogP")
+			}
+		}
+	}
+}
+
+// TestMediumScaleHeavyApps runs the expensive Medium configurations;
+// enable with SPASM_LONG=1 (several seconds per app).
+func TestMediumScaleHeavyApps(t *testing.T) {
+	if os.Getenv("SPASM_LONG") == "" {
+		t.Skip("set SPASM_LONG=1 to run the heavy medium-scale smoke tests")
+	}
+	for _, name := range []string{"is", "cg", "cholesky"} {
+		for _, kind := range []Kind{Target, CLogP} {
+			res, err := Run(name, Medium, 1, Config{Kind: kind, Topology: "mesh", P: 16})
+			if err != nil {
+				t.Fatalf("%s on %v: %v", name, kind, err)
+			}
+			if res.Stats.Total <= 0 {
+				t.Errorf("%s on %v: empty run", name, kind)
+			}
+		}
+	}
+}

@@ -1,0 +1,421 @@
+// Package spasm is a Go reproduction of the simulation study in
+// "Abstracting Network Characteristics and Locality Properties of
+// Parallel Systems" (Sivasubramaniam, Singla, Ramachandran,
+// Venkateswaran; HPCA 1995): an execution-driven simulator in the style
+// of SPASM that runs a suite of parallel applications on interchangeable
+// machine characterizations of a CC-NUMA multiprocessor —
+//
+//   - Target: per-node Berkeley-coherent caches over a detailed
+//     circuit-switched wormhole network (fully connected, hypercube or
+//     2-D mesh);
+//   - LogP: no caches, the network abstracted by the LogP L and g
+//     parameters;
+//   - LogP+Cache (CLogP): the LogP network plus an ideal coherent cache
+//     whose coherence actions cost nothing;
+//   - Ideal: a PRAM-like machine for the ideal-time metric.
+//
+// SPASM-style overhead separation (compute / memory / latency /
+// contention / synchronization) is measured for every run, and the
+// experiment layer regenerates all twenty figures of the paper's
+// evaluation plus its textual experiments (simulation cost, the
+// g-discipline ablation, and the g-parameter table).
+//
+// # Quick start
+//
+//	res, err := spasm.Run("fft", spasm.Small, 1, spasm.Config{
+//		Kind:     spasm.Target,
+//		Topology: "mesh",
+//		P:        16,
+//	})
+//	if err != nil { ... }
+//	fmt.Println(res.Stats)
+//
+// To regenerate a paper figure:
+//
+//	s := spasm.NewSession(spasm.Options{})
+//	fig, _ := spasm.FigureByNumber(7) // IS on Mesh: Contention
+//	fr, err := s.Figure(fig)
+//	fmt.Println(spasm.FigureChart(fr, 78, 22))
+//
+// Custom applications implement the Program interface against the Proc
+// API (Compute, Read, Write, locks, flags, barriers); see
+// examples/custom_app.
+package spasm
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"spasm/internal/app"
+	"spasm/internal/apps"
+	"spasm/internal/coherence"
+	"spasm/internal/exp"
+	"spasm/internal/logp"
+	"spasm/internal/machine"
+	"spasm/internal/mem"
+	"spasm/internal/report"
+	"spasm/internal/sim"
+	"spasm/internal/stats"
+	"spasm/internal/trace"
+)
+
+// Core configuration and result types.
+type (
+	// Config selects and parameterizes a machine characterization.
+	Config = machine.Config
+	// Kind identifies a machine characterization.
+	Kind = machine.Kind
+	// Result is one run's statistics plus its configuration.
+	Result = app.Result
+	// RunStats is the per-run, per-processor overhead breakdown.
+	RunStats = stats.Run
+	// ProcStats is one processor's overhead and event counters.
+	ProcStats = stats.Proc
+	// Bucket labels one overhead category.
+	Bucket = stats.Bucket
+	// Time is simulated time (660 units per microsecond).
+	Time = sim.Time
+)
+
+// Machine characterizations.
+const (
+	Ideal  = machine.Ideal
+	LogP   = machine.LogP
+	CLogP  = machine.CLogP
+	Target = machine.Target
+)
+
+// Overhead buckets.
+const (
+	Compute    = stats.Compute
+	Memory     = stats.Memory
+	Latency    = stats.Latency
+	Contention = stats.Contention
+	Sync       = stats.Sync
+)
+
+// Application-authoring API (see examples/custom_app).
+type (
+	// Program is a parallel application runnable on any machine.
+	Program = app.Program
+	// Proc is the per-processor handle a Program's Body uses.
+	Proc = app.Proc
+	// Ctx is the shared context a Program allocates into.
+	Ctx = app.Ctx
+	// SpinLock is a test-test&set lock on simulated shared memory.
+	SpinLock = app.SpinLock
+	// Flag is a shared-memory condition variable.
+	Flag = app.Flag
+	// Barrier is a centralized sense-reversing barrier.
+	Barrier = app.Barrier
+	// PhaseProfile is a run's per-phase overhead separation.
+	PhaseProfile = app.PhaseProfile
+	// PhaseStats aggregates the overheads of one named phase.
+	PhaseStats = app.PhaseStats
+	// Array is a shared-memory allocation.
+	Array = mem.Array
+	// Addr is a simulated shared-memory address.
+	Addr = mem.Addr
+)
+
+// Placement policies for shared arrays.
+const (
+	Blocked     = mem.Blocked
+	Interleaved = mem.Interleaved
+)
+
+// Workload scales.
+type Scale = apps.Scale
+
+const (
+	Tiny   = apps.Tiny
+	Small  = apps.Small
+	Medium = apps.Medium
+)
+
+// Experiment layer.
+type (
+	// Options configures an experiment Session.
+	Options = exp.Options
+	// Session runs sweeps with caching.
+	Session = exp.Session
+	// Figure identifies one paper figure.
+	Figure = exp.Figure
+	// FigureResult is a regenerated figure.
+	FigureResult = exp.FigureResult
+	// Metric selects what a figure plots.
+	Metric = exp.Metric
+	// CostRow reports a machine's simulation cost.
+	CostRow = exp.CostRow
+	// AblationRow is one point of the g-discipline ablation.
+	AblationRow = exp.AblationRow
+	// GapRow is one entry of the g-parameter table.
+	GapRow = exp.GapRow
+	// PortMode selects the LogP gap discipline.
+	PortMode = logp.PortMode
+)
+
+// Gap disciplines and figure metrics.
+const (
+	CombinedGap = logp.Combined
+	PerClassGap = logp.PerClass
+
+	ExecTime      = exp.ExecTime
+	LatencyOvh    = exp.LatencyOvh
+	ContentionOvh = exp.ContentionOvh
+)
+
+// Apps lists the available applications ("cg", "cholesky", "ep", "fft",
+// "is").
+func Apps() []string { return apps.Names() }
+
+// ExtendedApps lists the extension workloads beyond the paper's suite
+// (currently "mg", a hierarchical multigrid solver).
+func ExtendedApps() []string { return apps.ExtendedNames() }
+
+// RunExtended builds and simulates a named extension workload.
+func RunExtended(appName string, scale Scale, seed int64, cfg Config) (*Result, error) {
+	prog, err := apps.NewExtended(appName, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return app.Run(prog, cfg)
+}
+
+// Machines lists the machine characterizations in comparison order.
+func Machines() []Kind { return machine.Kinds() }
+
+// Figures lists the paper's twenty evaluation figures.
+func Figures() []Figure { return exp.Figures }
+
+// FigureByNumber returns paper figure n (1-20).
+func FigureByNumber(n int) (Figure, error) { return exp.ByNumber(n) }
+
+// ParseMetric converts "latency", "contention" or "exec" to a Metric.
+func ParseMetric(name string) (Metric, error) { return exp.ParseMetric(name) }
+
+// Run builds the named application at the given scale and seed and
+// simulates it on the configured machine.
+func Run(appName string, scale Scale, seed int64, cfg Config) (*Result, error) {
+	prog, err := apps.New(appName, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return app.Run(prog, cfg)
+}
+
+// RunProgram simulates a user-supplied Program on the configured machine.
+func RunProgram(prog Program, cfg Config) (*Result, error) {
+	return app.Run(prog, cfg)
+}
+
+// NewSession returns an experiment session.
+func NewSession(opt Options) *Session { return exp.NewSession(opt) }
+
+// GapTable computes the paper's g parameters for the given processor
+// counts on all three topologies.
+func GapTable(procs []int) []GapRow { return exp.GapTable(procs) }
+
+// GapAblation reproduces the section-7 gap-discipline experiment (FFT on
+// the cube).
+func GapAblation(scale Scale, seed int64, procs []int) ([]AblationRow, error) {
+	return exp.GapAblation(scale, seed, procs)
+}
+
+// FigureTable renders a regenerated figure as a fixed-width table.
+func FigureTable(fr *FigureResult) string { return report.FigureTable(fr).String() }
+
+// FigureCSV renders a regenerated figure as CSV.
+func FigureCSV(fr *FigureResult) string { return report.FigureCSV(fr) }
+
+// FigureChart renders a regenerated figure as an ASCII line chart.
+func FigureChart(fr *FigureResult, width, height int) string {
+	return report.Chart(fr, width, height)
+}
+
+// PhaseReport renders a run's per-phase overhead separation (populated
+// when the program marks phases with Proc.Phase; the bundled suite does).
+func PhaseReport(res *Result) string {
+	return report.PhaseTable(res.Phases).String()
+}
+
+// Micros converts microseconds to simulated Time.
+func Micros(us float64) Time { return sim.Micros(us) }
+
+// ParseKind converts a machine name ("ideal", "logp", "clogp",
+// "target") to its Kind.
+func ParseKind(s string) (Kind, error) { return machine.ParseKind(s) }
+
+// ParseScale converts a scale name ("tiny", "small", "medium") to its
+// Scale.
+func ParseScale(s string) (Scale, error) { return apps.ParseScale(s) }
+
+// ParseProcs parses a comma-separated processor sweep like "2,4,8,16".
+func ParseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("spasm: bad processor count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("spasm: empty processor sweep")
+	}
+	return out, nil
+}
+
+// Coherence protocols for the cached machines.
+type Protocol = coherence.Protocol
+
+const (
+	// BerkeleyProtocol is the paper's ownership protocol (default).
+	BerkeleyProtocol = coherence.Berkeley
+	// MSIProtocol is the plain three-state variant used by the
+	// protocol-sensitivity study.
+	MSIProtocol = coherence.MSI
+	// UpdateProtocol is the Firefly-style write-update variant.
+	UpdateProtocol = coherence.Update
+)
+
+// Extension studies (each grounded in a paper claim or proposal; see
+// the exp package documentation).
+type (
+	// ProtocolRow compares Berkeley and MSI execution for one app.
+	ProtocolRow = exp.ProtocolRow
+	// CacheRow is one point of the cache-size sweep.
+	CacheRow = exp.CacheRow
+	// AdaptiveRow is one point of the adaptive-g study.
+	AdaptiveRow = exp.AdaptiveRow
+	// LRow is one point of the effective-L study.
+	LRow = exp.LRow
+	// TraceRow compares trace-driven and execution-driven simulation.
+	TraceRow = exp.TraceRow
+	// SpeedupRow is one point of a scalability curve.
+	SpeedupRow = exp.SpeedupRow
+	// BandwidthRow characterizes one application's bandwidth demand.
+	BandwidthRow = exp.BandwidthRow
+	// TechRow is one point of the technology-scaling study.
+	TechRow = exp.TechRow
+	// FaultRow is one point of the degraded-link study.
+	FaultRow = exp.FaultRow
+	// TopologyRow is one point of the extended-topology comparison.
+	TopologyRow = exp.TopologyRow
+	// PlacementRow is one point of the data-placement study.
+	PlacementRow = exp.PlacementRow
+	// ExtendedAppRow is one point of the out-of-suite validation.
+	ExtendedAppRow = exp.ExtendedAppRow
+	// AccuracyRow summarizes one figure's abstraction error.
+	AccuracyRow = exp.AccuracyRow
+	// AccuracySummary aggregates abstraction error by metric.
+	AccuracySummary = exp.AccuracySummary
+)
+
+// ProtocolComparison runs the suite under both coherence protocols
+// (section 7's protocol-insensitivity claim).
+func ProtocolComparison(scale Scale, seed int64, topo string, p int) ([]ProtocolRow, error) {
+	return exp.ProtocolComparison(scale, seed, topo, p)
+}
+
+// CacheSweep sweeps the target machine's cache size for one application
+// (the 64 KB working-set claim the paper cites).
+func CacheSweep(appName string, scale Scale, seed int64, topo string, p int, sizesKB []int) ([]CacheRow, error) {
+	return exp.CacheSweep(appName, scale, seed, topo, p, sizesKB)
+}
+
+// AdaptiveGapStudy evaluates the paper's proposed history-based g
+// estimation (section 7 future work).
+func AdaptiveGapStudy(appName string, scale Scale, seed int64, topo string, procs []int) ([]AdaptiveRow, error) {
+	return exp.AdaptiveGapStudy(appName, scale, seed, topo, procs)
+}
+
+// EffectiveLStudy re-derives L from measured mean message size,
+// separating the L parameter's two counteracting inaccuracies
+// (section 6.1).
+func EffectiveLStudy(appName string, scale Scale, seed int64, topo string, procs []int) ([]LRow, error) {
+	return exp.EffectiveLStudy(appName, scale, seed, topo, procs)
+}
+
+// TraceDrivenStudy contrasts trace-driven against execution-driven
+// simulation across the application suite.
+func TraceDrivenStudy(scale Scale, seed int64, topo string, p int) ([]TraceRow, error) {
+	return exp.TraceDrivenStudy(scale, seed, topo, p)
+}
+
+// BandwidthStudy measures each application's per-processor communication
+// demand (the authors' bandwidth-characterization companion study).
+func BandwidthStudy(scale Scale, seed int64, topo string, p int) ([]BandwidthRow, error) {
+	return exp.BandwidthStudy(scale, seed, topo, p)
+}
+
+// TechnologyStudy scales the link bandwidth (with L and g re-derived)
+// and tracks how the ideal-cache abstraction's accuracy moves.
+func TechnologyStudy(appName string, scale Scale, seed int64, topo string, p int, mbps []float64) ([]TechRow, error) {
+	return exp.TechnologyStudy(appName, scale, seed, topo, p, mbps)
+}
+
+// DegradedLinkStudy injects a slow mesh link and contrasts the detailed
+// network (which sees it) against the L/g abstraction (which cannot).
+func DegradedLinkStudy(appName string, scale Scale, seed int64, p int, factors []int) ([]FaultRow, error) {
+	return exp.DegradedLinkStudy(appName, scale, seed, p, factors)
+}
+
+// TopologyStudy compares the abstraction's accuracy across all five
+// topologies, including the extension ring and torus.
+func TopologyStudy(appName string, scale Scale, seed int64, p int) ([]TopologyRow, error) {
+	return exp.TopologyStudy(appName, scale, seed, p)
+}
+
+// PlacementStudy contrasts blocked against interleaved data placement
+// for CG on the target machine.
+func PlacementStudy(scale Scale, seed int64, topo string, p int) ([]PlacementRow, error) {
+	return exp.PlacementStudy(scale, seed, topo, p)
+}
+
+// ExtendedAppStudy runs an extension workload through the paper's
+// machine comparison — an out-of-sample test of the abstractions.
+func ExtendedAppStudy(appName string, scale Scale, seed int64, topo string, procs []int) ([]ExtendedAppRow, error) {
+	return exp.ExtendedAppStudy(appName, scale, seed, topo, procs)
+}
+
+// Accuracy summarizes each figure's abstraction error (the geometric
+// mean abstraction/target ratio and trend agreement).
+func Accuracy(frs []*FigureResult) []AccuracyRow { return exp.Accuracy(frs) }
+
+// Summarize aggregates accuracy rows by figure metric — the
+// reproduction's one-screen dashboard.
+func Summarize(rows []AccuracyRow) []AccuracySummary { return exp.Summarize(rows) }
+
+// Trace recording and replay (execution-driven vs trace-driven
+// methodology).
+type Trace = trace.Trace
+
+// RecordTrace runs the named application with a reference-trace recorder
+// attached and returns the trace alongside the run result.
+func RecordTrace(appName string, scale Scale, seed int64, cfg Config) (*Trace, *Result, error) {
+	prog, err := apps.New(appName, scale, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rec *trace.Recorder
+	res, err := app.RunWrapped(prog, cfg, func(m machine.Machine) machine.Machine {
+		rec = trace.NewRecorder(m)
+		return rec
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec.Trace(res.Space), res, nil
+}
+
+// ReplayTrace replays a recorded trace on the configured machine
+// (trace-driven simulation).
+func ReplayTrace(t *Trace, cfg Config) (*Result, error) {
+	return app.Run(trace.Replay(t), cfg)
+}
+
+// DecodeTrace reads a trace serialized with Trace.Encode.
+func DecodeTrace(r io.Reader) (*Trace, error) { return trace.Decode(r) }
