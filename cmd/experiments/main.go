@@ -7,7 +7,12 @@
 //
 //	experiments                  # everything, tables + charts
 //	experiments -fig 7           # one figure
-//	experiments -jobs 8          # run the underlying simulations in parallel
+//	experiments -jobs 8          # override the simulation parallelism
+//
+// The underlying simulations run -jobs at a time (default: GOMAXPROCS,
+// i.e. every host core).  Each simulation is internally single-threaded
+// and deterministic, so the job count changes wall-clock time only —
+// results are identical regardless of -jobs.
 //	experiments -accuracy -format ""        # abstraction-accuracy dashboard
 //	experiments -format csv -out results/   # CSV files per figure
 //	experiments -speed -ablation -gtable    # only the textual experiments
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"spasm"
@@ -36,7 +42,7 @@ func main() {
 		ablation = flag.Bool("ablation", false, "run the g-discipline ablation (S2)")
 		gtable   = flag.Bool("gtable", false, "print the g-parameter table (S3)")
 		onlyText = flag.Bool("no-figures", false, "skip the numbered figures")
-		jobs     = flag.Int("jobs", 4, "concurrent simulations (results are identical)")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulations (results are identical regardless of job count)")
 		accuracy = flag.Bool("accuracy", false, "print the abstraction-accuracy dashboard")
 		adHocApp = flag.String("app", "", "ad-hoc figure: application (with -topo and -metric)")
 		adHocTop = flag.String("topo", "mesh", "ad-hoc figure: topology")

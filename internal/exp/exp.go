@@ -139,9 +139,21 @@ type Options struct {
 	// host (each simulation is single-threaded and independent, so
 	// this is pure speedup; results are identical).  Default 1.
 	Parallel int
+	// Runner, if non-nil, executes the session's underlying
+	// simulations in place of the session building and running the
+	// program itself.  It must return statistics equivalent to a
+	// direct run of the same combination at the session's scale and
+	// seed.  The service layer injects its content-addressed result
+	// cache and bounded worker pool here, so figure and sweep requests
+	// share one execution path with single-run requests.
+	Runner func(appName, topo string, kind machine.Kind, p int) (*stats.Run, error)
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults returns the options with unset fields filled in — the
+// form a Session actually runs with.  Exported so callers that expand
+// work themselves (the service layer pre-submitting sweep points to its
+// pool) see the same sweep and machine lists the session will use.
+func (o Options) WithDefaults() Options {
 	if o.Procs == nil {
 		o.Procs = []int{2, 4, 8, 16, 32, 64}
 	}
@@ -196,7 +208,7 @@ type Session struct {
 
 // NewSession returns a Session with the given options.
 func NewSession(opt Options) *Session {
-	return &Session{opt: opt.withDefaults(), cache: map[string]*stats.Run{}}
+	return &Session{opt: opt.WithDefaults(), cache: map[string]*stats.Run{}}
 }
 
 // Options returns the session's (defaulted) options.
@@ -231,6 +243,14 @@ func (s *Session) store(key string, r *stats.Run) {
 func (s *Session) Run(appName, topo string, kind machine.Kind, p int) (*stats.Run, error) {
 	key := runKey{appName, topo, kind, p}.String()
 	if r, ok := s.lookup(key); ok {
+		return r, nil
+	}
+	if s.opt.Runner != nil {
+		r, err := s.opt.Runner(appName, topo, kind, p)
+		if err != nil {
+			return nil, err
+		}
+		s.store(key, r)
 		return r, nil
 	}
 	prog, err := apps.New(appName, s.opt.Scale, s.opt.Seed)

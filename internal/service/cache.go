@@ -1,0 +1,79 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+
+	"spasm/internal/stats"
+)
+
+// entry is one completed run in the content-addressed result cache: the
+// canonical request, the deterministic JSON document served to clients
+// (byte-identical on every hit), the decoded statistics for in-process
+// consumers (figure assembly), and the error string for failed runs —
+// failures are deterministic too, so they are cached alongside results.
+type entry struct {
+	id    string
+	req   RunRequest
+	doc   json.RawMessage
+	stats *stats.Run
+	err   string
+}
+
+// lru is a fixed-capacity least-recently-used cache of entries keyed by
+// content address.  It is not self-locking: every method must be called
+// with the owning Server's mutex held.
+type lru struct {
+	max  int
+	ll   *list.List // front = most recently used; values are *entry
+	byID map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+func newLRU(max int) *lru {
+	return &lru{max: max, ll: list.New(), byID: make(map[string]*list.Element)}
+}
+
+// get returns the entry for id, promoting it to most recently used.
+// When count is true the lookup is charged to the hit/miss counters
+// (the submit path); status polls pass false so they don't inflate the
+// hit rate.
+func (c *lru) get(id string, count bool) (*entry, bool) {
+	el, ok := c.byID[id]
+	if !ok {
+		if count {
+			c.misses++
+		}
+		return nil, false
+	}
+	if count {
+		c.hits++
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry), true
+}
+
+// add inserts (or refreshes) an entry and evicts past capacity,
+// returning how many entries were evicted.
+func (c *lru) add(e *entry) (evicted int) {
+	if el, ok := c.byID[e.id]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.byID[e.id] = c.ll.PushFront(e)
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byID, oldest.Value.(*entry).id)
+		c.evictions++
+		evicted++
+	}
+	return evicted
+}
+
+// counters reports the cache statistics exported on /metrics.
+func (c *lru) counters() (hits, misses, evictions uint64, entries int) {
+	return c.hits, c.misses, c.evictions, c.ll.Len()
+}

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	for i := 0; i < 3; i++ {
+		c.add(&entry{id: fmt.Sprintf("e%d", i)})
+	}
+	hits, misses, evictions, entries := c.counters()
+	if entries != 2 || evictions != 1 {
+		t.Fatalf("entries=%d evictions=%d, want 2/1", entries, evictions)
+	}
+	if _, ok := c.get("e0", true); ok {
+		t.Fatal("oldest entry e0 survived eviction")
+	}
+	if _, ok := c.get("e2", true); !ok {
+		t.Fatal("newest entry e2 evicted")
+	}
+	hits, misses, _, _ = c.counters()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	c := newLRU(2)
+	c.add(&entry{id: "a"})
+	c.add(&entry{id: "b"})
+	// Touch a so b becomes the eviction victim.
+	if _, ok := c.get("a", false); !ok {
+		t.Fatal("a missing")
+	}
+	c.add(&entry{id: "c"})
+	if _, ok := c.get("a", false); !ok {
+		t.Fatal("recently used entry a evicted")
+	}
+	if _, ok := c.get("b", false); ok {
+		t.Fatal("least recently used entry b survived")
+	}
+	// Uncounted lookups must not move the counters.
+	hits, misses, _, _ := c.counters()
+	if hits != 0 || misses != 0 {
+		t.Fatalf("uncounted lookups charged: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestLRURefreshDoesNotEvict(t *testing.T) {
+	c := newLRU(2)
+	c.add(&entry{id: "a"})
+	c.add(&entry{id: "b"})
+	if evicted := c.add(&entry{id: "a", err: "updated"}); evicted != 0 {
+		t.Fatalf("refreshing a resident entry evicted %d", evicted)
+	}
+	e, ok := c.get("a", false)
+	if !ok || e.err != "updated" {
+		t.Fatalf("refresh lost: %+v ok=%v", e, ok)
+	}
+}

@@ -1,0 +1,250 @@
+// Package client is a small Go client for the spasmd HTTP API
+// (internal/service).  It submits runs, polls them to completion,
+// fetches figures and sweeps, and reads the metrics page — the same
+// surface the end-to-end tests and examples/service_client exercise.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"spasm/internal/report"
+	"spasm/internal/service"
+)
+
+// Client talks to one spasmd instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8347".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// PollInterval paces Run's status polling (default 25ms).
+	PollInterval time.Duration
+}
+
+// New returns a client for the server at base.
+func New(base string) *Client {
+	return &Client{BaseURL: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError is the decoded {"error": ...} body of a failed request.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("spasmd: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// do issues a request and decodes the JSON response into out (unless
+// out is nil).  Non-2xx responses become *apiError values.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var ed struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &ed) == nil && ed.Error != "" {
+			return &apiError{Status: resp.StatusCode, Msg: ed.Error}
+		}
+		return &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// SubmitRun submits a run without waiting for it.
+func (c *Client) SubmitRun(ctx context.Context, req service.RunRequest) (*service.RunStatus, error) {
+	var st service.RunStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/runs", req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// GetRun polls a run by ID.
+func (c *Client) GetRun(ctx context.Context, id string) (*service.RunStatus, error) {
+	var st service.RunStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/runs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Run submits a run and polls until it is done or failed (or ctx ends).
+func (c *Client) Run(ctx context.Context, req service.RunRequest) (*service.RunStatus, error) {
+	st, err := c.SubmitRun(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
+	}
+	for st.State != service.StateDone && st.State != service.StateFailed {
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(interval):
+		}
+		if st, err = c.GetRun(ctx, st.ID); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// DecodeResult unpacks a completed run's statistics document.
+func DecodeResult(st *service.RunStatus) (*report.RunDoc, error) {
+	if st.State != service.StateDone {
+		return nil, fmt.Errorf("client: run %s is %s (%s)", st.ID, st.State, st.Error)
+	}
+	var doc report.RunDoc
+	if err := json.Unmarshal(st.Result, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// SweepOpts narrows a figure or sweep request; zero values mean the
+// server's defaults (scale small, seed 1, procs 2..64, the paper's
+// three machines).
+type SweepOpts struct {
+	Procs    []int
+	Scale    string
+	Seed     int64
+	Machines []string
+}
+
+func (o SweepOpts) query() url.Values {
+	q := url.Values{}
+	if len(o.Procs) > 0 {
+		strs := make([]string, len(o.Procs))
+		for i, p := range o.Procs {
+			strs[i] = strconv.Itoa(p)
+		}
+		q.Set("procs", strings.Join(strs, ","))
+	}
+	if o.Scale != "" {
+		q.Set("scale", o.Scale)
+	}
+	if o.Seed != 0 {
+		q.Set("seed", strconv.FormatInt(o.Seed, 10))
+	}
+	if len(o.Machines) > 0 {
+		q.Set("machines", strings.Join(o.Machines, ","))
+	}
+	return q
+}
+
+// Figure regenerates paper figure n on the server.
+func (c *Client) Figure(ctx context.Context, n int, opts SweepOpts) (*report.FigureDoc, error) {
+	q := opts.query()
+	path := fmt.Sprintf("/v1/figures/%d", n)
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var doc report.FigureDoc
+	if err := c.do(ctx, http.MethodGet, path, nil, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// Sweep runs an ad-hoc (application, topology, metric) sweep.
+func (c *Client) Sweep(ctx context.Context, app, topo, metric string, opts SweepOpts) (*report.FigureDoc, error) {
+	q := opts.query()
+	q.Set("app", app)
+	q.Set("topo", topo)
+	q.Set("metric", metric)
+	var doc report.FigureDoc
+	if err := c.do(ctx, http.MethodGet, "/v1/sweeps?"+q.Encode(), nil, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// Healthz checks server liveness.
+func (c *Client) Healthz(ctx context.Context) (*service.Health, error) {
+	var h service.Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Metrics fetches the raw metrics page.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// MetricValue extracts an un-labelled counter or gauge from a metrics
+// page, e.g. MetricValue(page, "spasmd_cache_hits_total").
+func MetricValue(page, name string) (float64, bool) {
+	for _, line := range strings.Split(page, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}

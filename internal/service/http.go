@@ -1,0 +1,284 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"spasm"
+	"spasm/internal/exp"
+	"spasm/internal/machine"
+	"spasm/internal/report"
+	"spasm/internal/stats"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/runs        submit a run (RunRequest); 202 pending, 200 on cache hit
+//	GET  /v1/runs/{id}   poll a run by content address
+//	GET  /v1/figures/{n} regenerate paper figure n (blocks; runs are cached)
+//	GET  /v1/sweeps      ad-hoc sweep: ?app=&topo=&metric=&procs=&scale=&seed=
+//	GET  /healthz        liveness (503 once draining)
+//	GET  /metrics        Prometheus-style counters and latency histograms
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.instrument("/v1/runs", s.handleSubmit))
+	mux.HandleFunc("GET /v1/runs/{id}", s.instrument("/v1/runs/{id}", s.handleGetRun))
+	mux.HandleFunc("GET /v1/figures/{n}", s.instrument("/v1/figures/{n}", s.handleFigure))
+	mux.HandleFunc("GET /v1/sweeps", s.instrument("/v1/sweeps", s.handleSweep))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// instrument wraps a handler with the per-endpoint latency histogram.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		s.metrics.observe(path, time.Since(t0))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b)
+	w.Write([]byte("\n"))
+}
+
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorDoc{Error: err.Error()})
+}
+
+// submitStatus maps a submission outcome to its HTTP form.
+func (s *Server) submitStatus(w http.ResponseWriter, j *Job, hit bool, err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if hit {
+		writeJSON(w, http.StatusOK, statusFromEntry(j.entry, true))
+		return
+	}
+	s.mu.Lock()
+	st := RunStatus{ID: j.id, State: j.state, Spec: j.req}
+	if j.entry != nil {
+		st = statusFromEntry(j.entry, false)
+	}
+	s.mu.Unlock()
+	w.Header().Set("Location", "/v1/runs/"+j.id)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	spec, err := req.Spec()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	j, hit, err := s.Submit(spec)
+	s.submitStatus(w, j, hit, err)
+}
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Status(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such run %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// sweepOptions parses the query parameters shared by the figure and
+// sweep endpoints into session options backed by the server's pool.
+func (s *Server) sweepOptions(r *http.Request) (exp.Options, error) {
+	opt := exp.Options{Parallel: s.cfg.Workers}
+	q := r.URL.Query()
+	var err error
+	if v := q.Get("scale"); v != "" {
+		if opt.Scale, err = spasm.ParseScale(v); err != nil {
+			return opt, err
+		}
+	} else {
+		opt.Scale = spasm.Small
+	}
+	if v := q.Get("seed"); v != "" {
+		if opt.Seed, err = strconv.ParseInt(v, 10, 64); err != nil {
+			return opt, fmt.Errorf("bad seed %q", v)
+		}
+	}
+	if v := q.Get("procs"); v != "" {
+		if opt.Procs, err = spasm.ParseProcs(v); err != nil {
+			return opt, err
+		}
+	}
+	if v := q.Get("machines"); v != "" {
+		var kinds []machine.Kind
+		for _, name := range splitComma(v) {
+			k, err := spasm.ParseKind(name)
+			if err != nil {
+				return opt, err
+			}
+			kinds = append(kinds, k)
+		}
+		opt.Machines = kinds
+	}
+	return opt, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// figureResult regenerates a figure through the job queue: every
+// (machine, p) point is submitted as a content-addressed run job (so
+// points already cached cost nothing and duplicates coalesce), then an
+// exp.Session assembles the curves from the pooled results.
+func (s *Server) figureResult(r *http.Request, fig exp.Figure, opt exp.Options) (*exp.FigureResult, error) {
+	ctx := r.Context()
+	opt = opt.WithDefaults()
+	spec := func(kind machine.Kind, p int) spasm.Spec {
+		return spasm.Spec{
+			App: fig.App, Scale: opt.Scale, Seed: opt.Seed,
+			Machine: kind, Topology: fig.Topology, P: p,
+			PortMode: opt.PortMode,
+		}
+	}
+	// Pre-submit every point so the pool works them concurrently...
+	for _, kind := range opt.Machines {
+		for _, p := range opt.Procs {
+			if _, _, err := s.Submit(spec(kind, p)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// ...then let the session collect them in figure order.
+	opt.Runner = func(appName, topo string, kind machine.Kind, p int) (*stats.Run, error) {
+		return s.runStats(ctx, spasm.Spec{
+			App: appName, Scale: opt.Scale, Seed: opt.Seed,
+			Machine: kind, Topology: topo, P: p,
+			PortMode: opt.PortMode,
+		})
+	}
+	return exp.NewSession(opt).Figure(fig)
+}
+
+// writeFigure maps figure/sweep errors onto HTTP statuses and writes
+// the figure document.
+func writeFigure(w http.ResponseWriter, fr *exp.FigureResult, err error) {
+	if err != nil {
+		var reqErr *RequestError
+		switch {
+		case errors.As(err, &reqErr):
+			writeErr(w, http.StatusBadRequest, err)
+		case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+			writeErr(w, http.StatusServiceUnavailable, err)
+		default:
+			writeErr(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, report.FigureJSON(fr))
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad figure number %q", r.PathValue("n")))
+		return
+	}
+	fig, err := exp.ByNumber(n)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	opt, err := s.sweepOptions(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	fr, err := s.figureResult(r, fig, opt)
+	writeFigure(w, fr, err)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	app := q.Get("app")
+	if app == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("sweep needs ?app="))
+		return
+	}
+	topo := q.Get("topo")
+	if topo == "" {
+		topo = "mesh"
+	}
+	metricName := q.Get("metric")
+	if metricName == "" {
+		metricName = "exec"
+	}
+	metric, err := spasm.ParseMetric(metricName)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opt, err := s.sweepOptions(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	fr, err := s.figureResult(r, exp.Figure{Num: 0, App: app, Topology: topo, Metric: metric}, opt)
+	writeFigure(w, fr, err)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	h := Health{Status: "ok", Workers: s.cfg.Workers, QueueDepth: s.QueueDepth()}
+	status := http.StatusOK
+	if draining {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	io.WriteString(w, s.RenderMetrics())
+}

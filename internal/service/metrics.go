@@ -1,0 +1,136 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBounds are the per-endpoint histogram bucket upper bounds, in
+// seconds.  Simulations span ~milliseconds (tiny scale) to minutes
+// (medium-scale figures), so the buckets are decades.
+var latencyBounds = [...]float64{0.001, 0.01, 0.1, 1, 10, 60}
+
+// histogram is a fixed-bucket latency histogram (counts per bound, plus
+// the +Inf bucket implied by n).
+type histogram struct {
+	counts [len(latencyBounds)]uint64
+	sum    float64 // seconds
+	n      uint64
+}
+
+func (h *histogram) observe(seconds float64) {
+	h.sum += seconds
+	h.n++
+	for i, b := range latencyBounds {
+		if seconds <= b {
+			h.counts[i]++
+		}
+	}
+}
+
+// Metrics aggregates the service's operational counters.  The cache and
+// queue counters live with their owners; Metrics covers jobs, workers
+// and HTTP latency.
+type Metrics struct {
+	start   time.Time
+	workers int
+
+	mu        sync.Mutex
+	submitted uint64
+	coalesced uint64
+	done      uint64
+	failed    uint64
+	busy      int
+	byPath    map[string]*histogram
+}
+
+func newMetrics(start time.Time, workers int) *Metrics {
+	return &Metrics{start: start, workers: workers, byPath: make(map[string]*histogram)}
+}
+
+func (m *Metrics) jobSubmitted() {
+	m.mu.Lock()
+	m.submitted++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) jobCoalesced() {
+	m.mu.Lock()
+	m.coalesced++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) jobFinished(ok bool) {
+	m.mu.Lock()
+	if ok {
+		m.done++
+	} else {
+		m.failed++
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) workerBusy(delta int) {
+	m.mu.Lock()
+	m.busy += delta
+	m.mu.Unlock()
+}
+
+func (m *Metrics) observe(path string, d time.Duration) {
+	m.mu.Lock()
+	h := m.byPath[path]
+	if h == nil {
+		h = &histogram{}
+		m.byPath[path] = h
+	}
+	h.observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+// render writes the metrics in the Prometheus text exposition format.
+// Cache and queue figures are passed in by the Server, which owns them.
+func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evictions uint64, entries int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintf(b, "spasmd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+	fmt.Fprintf(b, "spasmd_workers %d\n", m.workers)
+	fmt.Fprintf(b, "spasmd_workers_busy %d\n", m.busy)
+	fmt.Fprintf(b, "spasmd_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(b, "spasmd_jobs_submitted_total %d\n", m.submitted)
+	fmt.Fprintf(b, "spasmd_jobs_coalesced_total %d\n", m.coalesced)
+	fmt.Fprintf(b, "spasmd_jobs_done_total %d\n", m.done)
+	fmt.Fprintf(b, "spasmd_jobs_failed_total %d\n", m.failed)
+	fmt.Fprintf(b, "spasmd_cache_hits_total %d\n", hits)
+	fmt.Fprintf(b, "spasmd_cache_misses_total %d\n", misses)
+	fmt.Fprintf(b, "spasmd_cache_evictions_total %d\n", evictions)
+	fmt.Fprintf(b, "spasmd_cache_entries %d\n", entries)
+
+	paths := make([]string, 0, len(m.byPath))
+	for p := range m.byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		h := m.byPath[p]
+		fmt.Fprintf(b, "spasmd_http_requests_total{path=%q} %d\n", p, h.n)
+		fmt.Fprintf(b, "spasmd_http_request_duration_seconds_sum{path=%q} %.6f\n", p, h.sum)
+		for i, bound := range latencyBounds {
+			fmt.Fprintf(b, "spasmd_http_request_duration_seconds_bucket{path=%q,le=\"%g\"} %d\n", p, bound, h.counts[i])
+		}
+		fmt.Fprintf(b, "spasmd_http_request_duration_seconds_bucket{path=%q,le=\"+Inf\"} %d\n", p, h.n)
+	}
+}
+
+// Render returns the full metrics page; the Server method gathers the
+// cache and queue numbers under its own lock.
+func (s *Server) RenderMetrics() string {
+	s.mu.Lock()
+	hits, misses, evictions, entries := s.cache.counters()
+	s.mu.Unlock()
+	var b strings.Builder
+	s.metrics.render(&b, s.QueueDepth(), hits, misses, evictions, entries)
+	return b.String()
+}

@@ -1,0 +1,318 @@
+// Package service turns the spasm simulator into a long-lived
+// simulation-as-a-service daemon: an HTTP JSON API over a job queue, a
+// bounded worker pool, and a content-addressed result cache.
+//
+// The design leans on one property of the simulator: a run is a
+// deterministic function of its canonical spec (spasm.Spec).  That makes
+// specs content addresses — the job ID is the spec's SHA-256 — and it
+// makes results safe to cache forever:
+//
+//   - Submitting a spec whose result is cached returns the stored,
+//     byte-identical statistics immediately (a cache hit).
+//   - Submitting a spec that is already queued or running coalesces onto
+//     the in-flight job instead of simulating twice.
+//   - Otherwise the job is queued and executed by one of a fixed pool of
+//     workers (default GOMAXPROCS — each simulation is internally
+//     single-threaded, so that saturates the host without oversubscribing).
+//
+// Figure and sweep requests decompose into their underlying runs, which
+// flow through the same queue and cache; repeating a figure request
+// re-simulates nothing.
+//
+// Completed results are held in an LRU cache bounded by entry count;
+// hits, misses and evictions are exported on /metrics along with queue
+// depth, worker utilization and per-endpoint latency histograms.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"sync"
+
+	"spasm"
+	"spasm/internal/report"
+	"spasm/internal/stats"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers bounds simulation concurrency (default GOMAXPROCS;
+	// each simulation is single-threaded, so this saturates the host).
+	Workers int
+	// CacheSize bounds the result cache, in entries (default 512).
+	CacheSize int
+	// QueueDepth bounds the pending-job queue (default 1024); Submit
+	// fails with ErrQueueFull beyond it.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize < 1 {
+		c.CacheSize = 512
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 1024
+	}
+	return c
+}
+
+// State is a job's lifecycle state.
+type State string
+
+// Job lifecycle states, as reported by the API.
+const (
+	StatePending State = "pending"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Submission errors.
+var (
+	// ErrDraining is returned once Shutdown has begun.
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrQueueFull is returned when the pending queue is at capacity.
+	ErrQueueFull = errors.New("service: job queue full")
+)
+
+// Job is one queued, running, or completed simulation.  Its ID is the
+// content address of its spec, so identical submissions share a Job.
+type Job struct {
+	id   string
+	spec spasm.Spec
+	req  RunRequest
+
+	// state and entry are guarded by the owning Server's mutex; entry
+	// is also safely readable by anyone who has observed done closed.
+	state State
+	entry *entry
+	done  chan struct{}
+}
+
+// ID returns the job's content address (the spec's SHA-256).
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job completes (done or failed).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// closedChan is the pre-closed done channel shared by cache-hit jobs.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Server owns the job queue, the worker pool, and the result cache.
+// Create one with New, expose it with Handler, stop it with Shutdown.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+
+	mu       sync.Mutex
+	active   map[string]*Job // pending + running jobs by ID
+	cache    *lru            // completed results (also guarded by mu)
+	queue    chan *Job
+	draining bool
+
+	workers sync.WaitGroup
+}
+
+// New starts a Server with cfg.Workers worker goroutines.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(time.Now(), cfg.Workers),
+		active:  make(map[string]*Job),
+		cache:   newLRU(cfg.CacheSize),
+		queue:   make(chan *Job, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit registers a run for execution and returns its job plus whether
+// the result was served from the cache.  An invalid spec fails
+// immediately; an identical in-flight submission coalesces onto the
+// existing job; a cached result returns a completed job at once.
+func (s *Server) Submit(spec spasm.Spec) (job *Job, hit bool, err error) {
+	spec = spec.Canonical()
+	if err := spec.Validate(); err != nil {
+		return nil, false, &RequestError{Err: err}
+	}
+	id := spec.Hash()
+
+	s.mu.Lock()
+	if j, ok := s.active[id]; ok {
+		s.mu.Unlock()
+		s.metrics.jobCoalesced()
+		return j, false, nil
+	}
+	if e, ok := s.cache.get(id, true); ok {
+		s.mu.Unlock()
+		j := &Job{id: id, spec: spec, req: RequestFromSpec(spec), entry: e, done: closedChan}
+		j.state = StateDone
+		if e.err != "" {
+			j.state = StateFailed
+		}
+		return j, true, nil
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return nil, false, ErrDraining
+	}
+	j := &Job{id: id, spec: spec, req: RequestFromSpec(spec), state: StatePending, done: make(chan struct{})}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		return nil, false, ErrQueueFull
+	}
+	s.active[id] = j
+	s.mu.Unlock()
+	s.metrics.jobSubmitted()
+	return j, false, nil
+}
+
+// worker executes queued jobs until the queue closes at shutdown.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for job := range s.queue {
+		s.metrics.workerBusy(1)
+		s.mu.Lock()
+		job.state = StateRunning
+		s.mu.Unlock()
+
+		e := &entry{id: job.id, req: job.req}
+		res, err := runSpecSafely(job.spec)
+		if err == nil {
+			var doc []byte
+			doc, err = json.Marshal(report.RunJSON(res))
+			if err == nil {
+				e.doc = doc
+				e.stats = res.Stats
+			}
+		}
+		if err != nil {
+			e.err = err.Error()
+		}
+		s.finish(job, e)
+		s.metrics.workerBusy(-1)
+	}
+}
+
+// runSpecSafely shields the daemon from panicking simulations: invalid
+// topology/processor combinations (and any future simulator bug) fail
+// the one job — deterministically, so the failure is cacheable — rather
+// than killing the server.
+func runSpecSafely(spec spasm.Spec) (res *spasm.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("run panicked: %v", r)
+		}
+	}()
+	return spasm.RunSpec(spec)
+}
+
+// finish publishes a job's result: into the cache, out of the active
+// set, and to anyone blocked on Done.
+func (s *Server) finish(job *Job, e *entry) {
+	s.mu.Lock()
+	job.entry = e
+	job.state = StateDone
+	if e.err != "" {
+		job.state = StateFailed
+	}
+	s.cache.add(e)
+	delete(s.active, job.id)
+	s.mu.Unlock()
+	close(job.done)
+	s.metrics.jobFinished(e.err == "")
+}
+
+// Wait blocks until the job completes or ctx is cancelled, then returns
+// its final status.
+func (s *Server) Wait(ctx context.Context, j *Job) (RunStatus, error) {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return RunStatus{}, ctx.Err()
+	}
+	return statusFromEntry(j.entry, false), nil
+}
+
+// Status reports a job by ID: an active (pending/running) job, or a
+// completed one still in the result cache.
+func (s *Server) Status(id string) (RunStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.active[id]; ok {
+		return RunStatus{ID: j.id, State: j.state, Spec: j.req}, true
+	}
+	if e, ok := s.cache.get(id, false); ok {
+		return statusFromEntry(e, false), true
+	}
+	return RunStatus{}, false
+}
+
+// runStats submits a spec (deduplicated and cached like any other
+// submission) and blocks for its statistics — the execution path behind
+// figure and sweep requests, injected into exp.Session as its Runner.
+func (s *Server) runStats(ctx context.Context, spec spasm.Spec) (*stats.Run, error) {
+	j, _, err := s.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if j.entry.err != "" {
+		return nil, fmt.Errorf("service: run %s: %s", j.id[:12], j.entry.err)
+	}
+	return j.entry.stats, nil
+}
+
+// QueueDepth reports the number of jobs waiting for a worker.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Shutdown stops accepting new jobs and drains the queue: every job
+// already accepted — queued or in flight — completes before Shutdown
+// returns (or ctx expires).  Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// RequestError marks a client-side (HTTP 400) submission error.
+type RequestError struct{ Err error }
+
+func (e *RequestError) Error() string { return e.Err.Error() }
+func (e *RequestError) Unwrap() error { return e.Err }

@@ -1,0 +1,136 @@
+package spasm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"spasm/internal/app"
+	"spasm/internal/apps"
+)
+
+// Spec is the canonical description of one simulation run: the
+// application, its scale and input seed, and the machine
+// characterization it runs on.  A run is a deterministic function of its
+// Spec — identical specs produce identical statistics — which is what
+// makes specs content-addressable: Key and Hash give every semantically
+// identical spec the same identity, so caches, trace/replay tooling and
+// the spasmd service can all name runs by content.
+//
+// The zero value of every optional field means "the paper's default"
+// (Topology "full", Seed 1, PortMode Combined, Protocol Berkeley);
+// Canonical makes the defaults explicit.  App and P are mandatory.
+type Spec struct {
+	// App names the application ("cg", "cholesky", "ep", "fft", "is",
+	// or an extension workload such as "mg").
+	App string
+	// Scale selects the problem size (Tiny, Small, Medium).
+	Scale Scale
+	// Seed varies the synthetic inputs (0 means the paper's seed, 1).
+	Seed int64
+	// Machine selects the characterization (Ideal, LogP, CLogP, Target).
+	Machine Kind
+	// Topology names the network ("" means "full"; also "cube", "mesh",
+	// and the extension topologies "ring" and "torus").
+	Topology string
+	// P is the number of processors (mandatory, >= 1).
+	P int
+	// PortMode selects the LogP g-gap discipline (default Combined).
+	PortMode PortMode
+	// Protocol selects the coherence protocol (default Berkeley).
+	Protocol Protocol
+}
+
+// Canonical returns the spec with every defaulted field made explicit.
+// Two specs that differ only in whether defaults are spelled out have
+// the same canonical form, and therefore the same Key and Hash.
+func (s Spec) Canonical() Spec {
+	if s.Topology == "" {
+		s.Topology = "full"
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Validate reports whether the spec names a known application and a
+// plausible machine; topology/processor-count compatibility (e.g. the
+// cube needing a power of two) is checked when the run is built.
+func (s Spec) Validate() error {
+	if s.App == "" {
+		return fmt.Errorf("spasm: spec has no application (have %v + %v)", Apps(), ExtendedApps())
+	}
+	if !knownApp(s.App) {
+		return fmt.Errorf("spasm: unknown application %q (have %v + %v)", s.App, Apps(), ExtendedApps())
+	}
+	if s.P < 1 {
+		return fmt.Errorf("spasm: spec needs P >= 1, got %d", s.P)
+	}
+	return nil
+}
+
+func knownApp(name string) bool {
+	for _, n := range apps.Names() {
+		if n == name {
+			return true
+		}
+	}
+	for _, n := range apps.ExtendedNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Key returns the spec's canonical string form: a fixed field order with
+// all defaults made explicit, so any two semantically identical specs —
+// however they were constructed — yield byte-identical keys.  It is
+// stable across processes and releases of this package, making it safe
+// to persist (result caches, trace archives, replay manifests).
+func (s Spec) Key() string {
+	c := s.Canonical()
+	return fmt.Sprintf("app=%s scale=%v seed=%d machine=%v topo=%s p=%d port=%v proto=%v",
+		c.App, c.Scale, c.Seed, c.Machine, c.Topology, c.P, c.PortMode, c.Protocol)
+}
+
+// Hash returns the hex SHA-256 of Key — the spec's content address.
+// The spasmd service uses it as the run ID.
+func (s Spec) Hash() string {
+	sum := sha256.Sum256([]byte(s.Key()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Config returns the machine configuration the spec describes.
+func (s Spec) Config() Config {
+	c := s.Canonical()
+	return Config{
+		Kind:     c.Machine,
+		Topology: c.Topology,
+		P:        c.P,
+		PortMode: c.PortMode,
+		Protocol: c.Protocol,
+	}
+}
+
+// RunSpec builds and simulates the run a canonical spec describes.  It
+// is equivalent to Run (or RunExtended, for extension workloads) with
+// the spec's fields, and exists so that everything content-addressed by
+// Spec.Key — the spasmd result cache above all — executes runs through
+// one canonical path.
+func RunSpec(spec Spec) (*Result, error) {
+	spec = spec.Canonical()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	prog, err := apps.New(spec.App, spec.Scale, spec.Seed)
+	if err != nil {
+		var extErr error
+		prog, extErr = apps.NewExtended(spec.App, spec.Scale, spec.Seed)
+		if extErr != nil {
+			return nil, err
+		}
+	}
+	return app.Run(prog, spec.Config())
+}

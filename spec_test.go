@@ -1,0 +1,111 @@
+package spasm_test
+
+import (
+	"regexp"
+	"testing"
+
+	"spasm"
+)
+
+// TestSpecKeyDefaultInsensitivity: a spec with defaults left at their
+// zero values and one with the defaults spelled out explicitly must
+// share a key (and hash) — the property the content-addressed result
+// cache depends on.
+func TestSpecKeyDefaultInsensitivity(t *testing.T) {
+	implicit := spasm.Spec{App: "fft", Machine: spasm.Target, P: 4}
+	explicit := spasm.Spec{
+		App:      "fft",
+		Scale:    spasm.Tiny,
+		Seed:     1,
+		Machine:  spasm.Target,
+		Topology: "full",
+		P:        4,
+		PortMode: spasm.CombinedGap,
+		Protocol: spasm.BerkeleyProtocol,
+	}
+	if implicit.Key() != explicit.Key() {
+		t.Fatalf("default-insensitivity violated:\n  implicit %q\n  explicit %q",
+			implicit.Key(), explicit.Key())
+	}
+	if implicit.Hash() != explicit.Hash() {
+		t.Fatalf("hashes differ for identical keys")
+	}
+}
+
+// TestSpecKeyStable: the key is deterministic across calls and uses the
+// documented fixed field order.
+func TestSpecKeyStable(t *testing.T) {
+	s := spasm.Spec{App: "is", Scale: spasm.Small, Seed: 7, Machine: spasm.LogP, Topology: "mesh", P: 16}
+	want := "app=is scale=small seed=7 machine=logp topo=mesh p=16 port=combined proto=berkeley"
+	for i := 0; i < 3; i++ {
+		if got := s.Key(); got != want {
+			t.Fatalf("call %d: Key() = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestSpecKeyDiscriminates: changing any field changes the key.
+func TestSpecKeyDiscriminates(t *testing.T) {
+	base := spasm.Spec{App: "cg", Scale: spasm.Small, Seed: 1, Machine: spasm.Target, Topology: "full", P: 8}
+	variants := []spasm.Spec{
+		{App: "ep", Scale: spasm.Small, Seed: 1, Machine: spasm.Target, Topology: "full", P: 8},
+		{App: "cg", Scale: spasm.Medium, Seed: 1, Machine: spasm.Target, Topology: "full", P: 8},
+		{App: "cg", Scale: spasm.Small, Seed: 2, Machine: spasm.Target, Topology: "full", P: 8},
+		{App: "cg", Scale: spasm.Small, Seed: 1, Machine: spasm.CLogP, Topology: "full", P: 8},
+		{App: "cg", Scale: spasm.Small, Seed: 1, Machine: spasm.Target, Topology: "mesh", P: 8},
+		{App: "cg", Scale: spasm.Small, Seed: 1, Machine: spasm.Target, Topology: "full", P: 16},
+		{App: "cg", Scale: spasm.Small, Seed: 1, Machine: spasm.Target, Topology: "full", P: 8, PortMode: spasm.PerClassGap},
+		{App: "cg", Scale: spasm.Small, Seed: 1, Machine: spasm.Target, Topology: "full", P: 8, Protocol: spasm.MSIProtocol},
+	}
+	seen := map[string]bool{base.Key(): true}
+	for i, v := range variants {
+		if seen[v.Key()] {
+			t.Fatalf("variant %d has a colliding key %q", i, v.Key())
+		}
+		seen[v.Key()] = true
+	}
+}
+
+func TestSpecHashForm(t *testing.T) {
+	h := spasm.Spec{App: "ep", P: 2}.Hash()
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(h) {
+		t.Fatalf("Hash() = %q, want 64 lowercase hex chars", h)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := (spasm.Spec{App: "nope", P: 2}).Validate(); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if err := (spasm.Spec{App: "fft", P: 0}).Validate(); err == nil {
+		t.Fatal("P=0 accepted")
+	}
+	if err := (spasm.Spec{App: "mg", P: 2}).Validate(); err != nil {
+		t.Fatalf("extension workload rejected: %v", err)
+	}
+}
+
+// TestRunSpecMatchesRun: RunSpec is the same deterministic run as the
+// positional Run API.
+func TestRunSpecMatchesRun(t *testing.T) {
+	spec := spasm.Spec{App: "fft", Scale: spasm.Tiny, Seed: 1, Machine: spasm.LogP, Topology: "cube", P: 4}
+	a, err := spasm.RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spasm.Run("fft", spasm.Tiny, 1, spasm.Config{Kind: spasm.LogP, Topology: "cube", P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Total != b.Stats.Total {
+		t.Fatalf("total differs: RunSpec %v, Run %v", a.Stats.Total, b.Stats.Total)
+	}
+	for _, bkt := range []spasm.Bucket{spasm.Compute, spasm.Memory, spasm.Latency, spasm.Contention, spasm.Sync} {
+		if a.Stats.Sum(bkt) != b.Stats.Sum(bkt) {
+			t.Fatalf("%v differs: RunSpec %v, Run %v", bkt, a.Stats.Sum(bkt), b.Stats.Sum(bkt))
+		}
+	}
+	if a.Stats.Messages() != b.Stats.Messages() {
+		t.Fatalf("messages differ: RunSpec %d, Run %d", a.Stats.Messages(), b.Stats.Messages())
+	}
+}
