@@ -13,6 +13,7 @@
 // i.e. every host core).  Each simulation is internally single-threaded
 // and deterministic, so the job count changes wall-clock time only —
 // results are identical regardless of -jobs.
+//
 //	experiments -accuracy -format ""        # abstraction-accuracy dashboard
 //	experiments -format csv -out results/   # CSV files per figure
 //	experiments -speed -ablation -gtable    # only the textual experiments
@@ -47,6 +48,7 @@ func main() {
 		adHocApp = flag.String("app", "", "ad-hoc figure: application (with -topo and -metric)")
 		adHocTop = flag.String("topo", "mesh", "ad-hoc figure: topology")
 		adHocMet = flag.String("metric", "contention", "ad-hoc figure: latency, contention or exec")
+		profiled = flag.Bool("profile", false, "with -app: profile one target-machine run (largest -procs) instead of sweeping")
 	)
 	flag.Parse()
 
@@ -66,6 +68,13 @@ func main() {
 	s := spasm.NewSession(spasm.Options{Scale: sc, Procs: procs, Seed: *seed, Parallel: *jobs})
 
 	if *adHocApp != "" {
+		if *profiled {
+			p := procs[len(procs)-1]
+			if err := emitProfile(*adHocApp, *adHocTop, p, sc, *seed, *outDir); err != nil {
+				fail(err)
+			}
+			return
+		}
 		metric, err := spasm.ParseMetric(*adHocMet)
 		if err != nil {
 			fail(err)
@@ -140,6 +149,32 @@ func emit(fr *spasm.FigureResult, formats map[string]bool, outDir string) {
 			fmt.Println("wrote", path)
 		}
 	}
+}
+
+// emitProfile runs one target-machine simulation with the probe
+// attached and prints its per-epoch table; with -out set it also writes
+// the CSV time series next to the figure CSVs.
+func emitProfile(app, topo string, p int, sc spasm.Scale, seed int64, outDir string) error {
+	cfg := spasm.Config{Kind: spasm.Target, Topology: topo, P: p}
+	_, prof, err := spasm.RunProfiled(app, sc, seed, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(spasm.ProfileTable(prof))
+	epoch, total := prof.Peak(spasm.Contention)
+	fmt.Printf("peak contention: epoch %d (t=%v), %v summed over procs\n\n",
+		epoch, prof.EpochStart(epoch), total)
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, fmt.Sprintf("profile_%s_%s_p%d.csv", app, topo, p))
+		if err := os.WriteFile(path, []byte(spasm.ProfileCSV(prof)), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
 }
 
 func printAccuracy(frs []*spasm.FigureResult) {

@@ -31,6 +31,7 @@ func main() {
 		verbose = flag.Bool("v", false, "per-processor breakdown")
 		phases  = flag.Bool("phases", false, "per-phase overhead breakdown")
 		asJSON  = flag.Bool("json", false, "machine-readable output")
+		profile = flag.String("profile", "", "time-resolved profile: '-' prints a per-epoch table, anything else is a CSV output path")
 	)
 	flag.Parse()
 
@@ -47,14 +48,23 @@ func main() {
 		cfg.PortMode = spasm.PerClassGap
 	}
 
-	res, err := spasm.Run(*appName, sc, *seed, cfg)
-	if err != nil {
-		// Fall back to the extension workloads (e.g. mg).
-		var extErr error
-		res, extErr = spasm.RunExtended(*appName, sc, *seed, cfg)
-		if extErr != nil {
-			fail(err)
+	var res *spasm.Result
+	var prof *spasm.Profile
+	if *profile != "" {
+		res, prof, err = spasm.RunProfiled(*appName, sc, *seed, cfg)
+	} else {
+		res, err = spasm.Run(*appName, sc, *seed, cfg)
+		if err != nil {
+			// Fall back to the extension workloads (e.g. mg).
+			var extErr error
+			res, extErr = spasm.RunExtended(*appName, sc, *seed, cfg)
+			if extErr == nil {
+				err = nil
+			}
 		}
+	}
+	if err != nil {
+		fail(err)
 	}
 	if *asJSON {
 		printJSON(res)
@@ -65,6 +75,29 @@ func main() {
 		fmt.Println()
 		fmt.Print(spasm.PhaseReport(res))
 	}
+	if prof != nil {
+		printProfile(prof, *profile)
+	}
+}
+
+// printProfile surfaces the time-resolved run profile: a peak-pressure
+// summary on stdout, plus either the full per-epoch table ("-") or a
+// CSV file at the given path.
+func printProfile(prof *spasm.Profile, dest string) {
+	fmt.Println()
+	epoch, total := prof.Peak(spasm.Contention)
+	fmt.Printf("profile        : %d epochs of %v\n", len(prof.Epochs), prof.EpochLen)
+	fmt.Printf("peak contention: epoch %d (t=%v), %v summed over procs\n",
+		epoch, prof.EpochStart(epoch), total)
+	if dest == "-" {
+		fmt.Println()
+		fmt.Print(spasm.ProfileTable(prof))
+		return
+	}
+	if err := os.WriteFile(dest, []byte(spasm.ProfileCSV(prof)), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("profile CSV    : wrote %s\n", dest)
 }
 
 // jsonRun is the machine-readable run summary.

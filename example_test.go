@@ -28,6 +28,26 @@ func ExampleRun() {
 	// deterministic: true
 }
 
+// Profiling a run over simulated time and locating the epoch where
+// network contention peaked.
+func ExampleRunProfiled() {
+	_, prof, err := spasm.RunProfiled("ep", spasm.Tiny, 1, spasm.Config{
+		Kind:     spasm.Target,
+		Topology: "mesh",
+		P:        4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	epoch, total := prof.Peak(spasm.Contention)
+	fmt.Printf("epochs: %d x %v\n", len(prof.Epochs), prof.EpochLen)
+	fmt.Printf("peak contention: epoch %d (t=%v), %v\n",
+		epoch, prof.EpochStart(epoch), total)
+	// Output:
+	// epochs: 35 x 10.000us
+	// peak contention: epoch 23 (t=230.000us), 12.939us
+}
+
 // Computing the paper's g parameter table (section 5).
 func ExampleGapTable() {
 	for _, row := range spasm.GapTable([]int{16}) {

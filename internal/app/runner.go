@@ -57,18 +57,37 @@ type Result struct {
 	Phases *PhaseProfile
 }
 
+// Instrument observes one run from the inside.  Attach is called after
+// the machine is built but before any process is spawned; Finish is
+// called once the simulation has completed successfully, with the final
+// result.  Implementations (the telemetry profiler in internal/probe
+// above all) hook the engine clock and the machine's network from
+// Attach; everything an Instrument records must be a function of the
+// run's configuration alone, so instrumented runs stay deterministic.
+type Instrument interface {
+	Attach(cfg machine.Config, eng *sim.Engine, run *stats.Run, m machine.Machine)
+	Finish(res *Result)
+}
+
 // Run executes prog on a machine built from cfg with cfg.P processors
 // and returns the accumulated statistics.  The simulation is
 // deterministic: identical programs and configurations produce identical
 // results.
 func Run(prog Program, cfg machine.Config) (*Result, error) {
-	return RunWrapped(prog, cfg, nil)
+	return RunInstrumented(prog, cfg, nil, nil)
 }
 
 // RunWrapped is Run with a machine decorator: wrap (if non-nil) receives
 // the configured machine and returns the machine the program actually
 // drives — the hook used by trace recording and other instrumentation.
 func RunWrapped(prog Program, cfg machine.Config, wrap func(machine.Machine) machine.Machine) (*Result, error) {
+	return RunInstrumented(prog, cfg, wrap, nil)
+}
+
+// RunInstrumented is RunWrapped with an attached Instrument.  The
+// instrument observes the *underlying* machine (before wrap), so a
+// decorator like the trace recorder does not hide the network from it.
+func RunInstrumented(prog Program, cfg machine.Config, wrap func(machine.Machine) machine.Machine, inst Instrument) (*Result, error) {
 	if cfg.P < 1 {
 		return nil, fmt.Errorf("app: run with P=%d", cfg.P)
 	}
@@ -88,6 +107,9 @@ func RunWrapped(prog Program, cfg machine.Config, wrap func(machine.Machine) mac
 	m, err := machine.New(cfg, space)
 	if err != nil {
 		return nil, err
+	}
+	if inst != nil {
+		inst.Attach(cfg, eng, run, m)
 	}
 	if wrap != nil {
 		m = wrap(m)
@@ -115,14 +137,18 @@ func RunWrapped(prog Program, cfg machine.Config, wrap func(machine.Machine) mac
 	if err := prog.Check(); err != nil {
 		return nil, fmt.Errorf("app: %s result check failed: %w", prog.Name(), err)
 	}
-	return &Result{
+	res := &Result{
 		Program: prog.Name(),
 		Config:  cfg,
 		Stats:   run,
 		Machine: m,
 		Space:   space,
 		Phases:  ctx.Phases,
-	}, nil
+	}
+	if inst != nil {
+		inst.Finish(res)
+	}
+	return res, nil
 }
 
 // setupSafely runs prog.Setup, converting panics (bad sizes, invalid

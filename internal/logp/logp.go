@@ -84,6 +84,11 @@ type Net struct {
 	// that crossed the bisection (adaptive mode only).
 	Messages uint64
 	Crossing uint64
+
+	// Observer, when non-nil, is invoked from Message for every message
+	// the abstract network carries, with the requested departure time
+	// and the resulting schedule.
+	Observer func(now sim.Time, x Xmit, src, dst int)
 }
 
 // New returns a LogP network over p nodes with the given parameters.
@@ -171,11 +176,15 @@ func (n *Net) Message(now sim.Time, src, dst int) Xmit {
 	if n.Crosses != nil && n.Crosses(src, dst) {
 		n.Crossing++
 	}
-	return Xmit{
+	x := Xmit{
 		SendAt:  sendAt,
 		Arrive:  arrive,
 		Deliver: deliver,
 		Latency: n.L,
 		Wait:    (sendAt - now) + (deliver - arrive),
 	}
+	if n.Observer != nil {
+		n.Observer(now, x, src, dst)
+	}
+	return x
 }

@@ -261,6 +261,14 @@ type Networked interface {
 	Fabric() *network.Fabric
 }
 
+// Abstracted is implemented by machines carrying a LogP-abstracted
+// network (LogP and CLogP), exposing it for parameter inspection and
+// instrumentation.  Implementations may return nil (the Target machine's
+// cached wrapper satisfies the interface but has no abstract network).
+type Abstracted interface {
+	Net() *logp.Net
+}
+
 // cachedMachine wraps the shared coherence engine for Target and CLogP.
 type cachedMachine struct {
 	kind  Kind

@@ -32,6 +32,12 @@ type Fabric struct {
 	// injection: a link that transmits N times slower than nominal).
 	slow map[int]int
 
+	// Observer, when non-nil, is invoked from Reserve for every message
+	// the fabric carries: the requested departure time, the resulting
+	// schedule, the endpoints and size, and the links of the route.
+	// The route slice is only valid for the duration of the call.
+	Observer func(now sim.Time, x Xmit, src, dst, bytes int, route []int)
+
 	// Messages and Bytes count all traffic carried by the fabric.
 	Messages uint64
 	Bytes    uint64
@@ -120,7 +126,11 @@ func (f *Fabric) Reserve(now sim.Time, src, dst, bytes int) Xmit {
 	}
 	f.Messages++
 	f.Bytes += uint64(bytes)
-	return Xmit{Start: start, End: end, Latency: dur, Wait: start - now}
+	x := Xmit{Start: start, End: end, Latency: dur, Wait: start - now}
+	if f.Observer != nil {
+		f.Observer(now, x, src, dst, bytes, route)
+	}
+	return x
 }
 
 // Send transmits a message on behalf of process p, blocking it until the

@@ -1,0 +1,209 @@
+package probe
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"spasm/internal/sim"
+	"spasm/internal/stats"
+)
+
+// The compact binary profile format: a magic/version header, the
+// identifying strings, the geometry, then per epoch the per-processor
+// deltas, the delay histogram, and the active-link samples, all as
+// unsigned varints.  Every field is a deterministic function of the
+// profiled spec, and maps are flattened in sorted order, so encoding the
+// same profile always yields identical bytes — the property the spasmd
+// result cache and the golden tests rely on.
+
+// profileMagic opens every encoded profile.
+var profileMagic = [4]byte{'S', 'P', 'R', 'F'}
+
+// profileVersion is bumped on any change to the wire layout.
+const profileVersion = 1
+
+// sanity bounds for Decode: reject absurd geometries before allocating.
+const (
+	maxDecodeEpochs = 1 << 20
+	maxDecodeProcs  = 1 << 16
+	maxDecodeString = 1 << 10
+)
+
+type countingWriter struct {
+	w *bufio.Writer
+	n int
+}
+
+func (cw *countingWriter) uvarint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	cw.w.Write(buf[:n])
+	cw.n += n
+}
+
+func (cw *countingWriter) time(t sim.Time) { cw.uvarint(uint64(t)) }
+
+func (cw *countingWriter) str(s string) {
+	cw.uvarint(uint64(len(s)))
+	cw.w.WriteString(s)
+	cw.n += len(s)
+}
+
+// Encode writes the profile in its compact binary form and returns the
+// number of bytes written.
+func (p *Profile) Encode(w io.Writer) (int, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(profileMagic[:]); err != nil {
+		return 0, err
+	}
+	cw := &countingWriter{w: bw, n: len(profileMagic)}
+	cw.uvarint(profileVersion)
+	cw.str(p.App)
+	cw.str(p.Machine)
+	cw.str(p.Topology)
+	cw.uvarint(uint64(p.P))
+	cw.uvarint(uint64(p.NumLinks))
+	cw.time(p.EpochLen)
+	cw.time(p.Total)
+	cw.uvarint(uint64(stats.NumBuckets))
+	cw.uvarint(uint64(HistBuckets))
+	cw.uvarint(uint64(len(p.Epochs)))
+	for i := range p.Epochs {
+		e := &p.Epochs[i]
+		for j := range e.Procs {
+			ps := &e.Procs[j]
+			for b := range ps.Buckets {
+				cw.time(ps.Buckets[b])
+			}
+			cw.uvarint(ps.Reads)
+			cw.uvarint(ps.Writes)
+			cw.uvarint(ps.Hits)
+			cw.uvarint(ps.Misses)
+			cw.uvarint(ps.Messages)
+			cw.uvarint(ps.Invals)
+			cw.uvarint(ps.Writebacks)
+		}
+		for _, c := range e.Hist {
+			cw.uvarint(c)
+		}
+		cw.uvarint(uint64(len(e.Links)))
+		for _, l := range e.Links {
+			cw.uvarint(uint64(l.Link))
+			cw.time(l.Busy)
+			cw.time(l.Wait)
+			cw.uvarint(l.Messages)
+			cw.uvarint(l.Bytes)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (rd *reader) uvarint() uint64 {
+	if rd.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(rd.r)
+	if err != nil {
+		rd.err = fmt.Errorf("probe: truncated profile: %w", err)
+	}
+	return v
+}
+
+func (rd *reader) time() sim.Time { return sim.Time(rd.uvarint()) }
+
+func (rd *reader) count(what string, max uint64) int {
+	v := rd.uvarint()
+	if rd.err == nil && v > max {
+		rd.err = fmt.Errorf("probe: implausible %s count %d", what, v)
+	}
+	return int(v)
+}
+
+func (rd *reader) str() string {
+	n := rd.count("string", maxDecodeString)
+	if rd.err != nil {
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(rd.r, b); err != nil {
+		rd.err = fmt.Errorf("probe: truncated profile: %w", err)
+		return ""
+	}
+	return string(b)
+}
+
+// Decode reads a profile serialized with Encode.
+func Decode(r io.Reader) (*Profile, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("probe: truncated profile: %w", err)
+	}
+	if magic != profileMagic {
+		return nil, fmt.Errorf("probe: bad magic %q", magic[:])
+	}
+	rd := &reader{r: br}
+	if v := rd.uvarint(); rd.err == nil && v != profileVersion {
+		return nil, fmt.Errorf("probe: unsupported profile version %d", v)
+	}
+	p := &Profile{
+		App:      rd.str(),
+		Machine:  rd.str(),
+		Topology: rd.str(),
+		P:        rd.count("processor", maxDecodeProcs),
+		NumLinks: rd.count("link-space", 1<<30),
+		EpochLen: rd.time(),
+		Total:    rd.time(),
+	}
+	nb := rd.count("bucket", 64)
+	nh := rd.count("hist-bucket", 64)
+	if rd.err == nil && (nb != int(stats.NumBuckets) || nh != HistBuckets) {
+		return nil, fmt.Errorf("probe: profile has %d buckets / %d hist buckets, want %d / %d",
+			nb, nh, stats.NumBuckets, HistBuckets)
+	}
+	nEpochs := rd.count("epoch", maxDecodeEpochs)
+	for i := 0; i < nEpochs && rd.err == nil; i++ {
+		e := Epoch{Procs: make([]ProcSample, p.P)}
+		for j := range e.Procs {
+			ps := &e.Procs[j]
+			for b := range ps.Buckets {
+				ps.Buckets[b] = rd.time()
+			}
+			ps.Reads = rd.uvarint()
+			ps.Writes = rd.uvarint()
+			ps.Hits = rd.uvarint()
+			ps.Misses = rd.uvarint()
+			ps.Messages = rd.uvarint()
+			ps.Invals = rd.uvarint()
+			ps.Writebacks = rd.uvarint()
+		}
+		for b := range e.Hist {
+			e.Hist[b] = rd.uvarint()
+		}
+		nLinks := rd.count("link", 1<<30)
+		for k := 0; k < nLinks && rd.err == nil; k++ {
+			e.Links = append(e.Links, LinkSample{
+				Link:     int(rd.uvarint()),
+				Busy:     rd.time(),
+				Wait:     rd.time(),
+				Messages: rd.uvarint(),
+				Bytes:    rd.uvarint(),
+			})
+		}
+		p.Epochs = append(p.Epochs, e)
+	}
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	return p, nil
+}

@@ -1,0 +1,111 @@
+package probe_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"spasm"
+	"spasm/internal/probe"
+)
+
+// goldenSpec is the fixed run behind the golden profile encoding.
+func goldenSpec() (string, spasm.Scale, int64, spasm.Config) {
+	return "ep", spasm.Tiny, 1, spasm.Config{Kind: spasm.Target, Topology: "mesh", P: 4}
+}
+
+func encodeProfile(t *testing.T, p *probe.Profile) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := p.Encode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != buf.Len() {
+		t.Fatalf("Encode reported %d bytes, wrote %d", n, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+// TestEncodeDeterministic runs the same spec twice, independently, and
+// requires byte-identical encoded profiles.
+func TestEncodeDeterministic(t *testing.T) {
+	app, sc, seed, cfg := goldenSpec()
+	_, p1, err := spasm.RunProfiled(app, sc, seed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p2, err := spasm.RunProfiled(app, sc, seed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := encodeProfile(t, p1), encodeProfile(t, p2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("independent runs encoded differently (%d vs %d bytes)", len(b1), len(b2))
+	}
+}
+
+// TestEncodeRoundTrip checks that Encode → Decode → Encode is lossless,
+// both structurally and byte-for-byte.
+func TestEncodeRoundTrip(t *testing.T) {
+	app, sc, seed, cfg := goldenSpec()
+	_, p, err := spasm.RunProfiled(app, sc, seed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := encodeProfile(t, p)
+	dec, err := probe.Decode(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, dec) {
+		t.Fatal("decoded profile differs from the original")
+	}
+	if re := encodeProfile(t, dec); !bytes.Equal(enc, re) {
+		t.Fatal("re-encoding a decoded profile changed the bytes")
+	}
+}
+
+// TestEncodeGolden pins the canonical encoding against a checked-in
+// golden file, so accidental format or simulation changes surface as a
+// test failure.  Regenerate with -update after an intentional change.
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func TestEncodeGolden(t *testing.T) {
+	app, sc, seed, cfg := goldenSpec()
+	_, p, err := spasm.RunProfiled(app, sc, seed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := encodeProfile(t, p)
+	path := filepath.Join("testdata", "ep_tiny_p4_target.sprf")
+	if update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (set UPDATE_GOLDEN=1 to regenerate)", err)
+	}
+	if !bytes.Equal(enc, want) {
+		t.Fatalf("encoding diverged from golden file %s: got %d bytes, want %d "+
+			"(set UPDATE_GOLDEN=1 to regenerate after an intentional change)",
+			path, len(enc), len(want))
+	}
+}
+
+// TestDecodeRejectsGarbage checks the decoder's sanity limits.
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := probe.Decode(bytes.NewReader([]byte("not a profile"))); err == nil {
+		t.Fatal("Decode accepted garbage")
+	}
+	if _, err := probe.Decode(bytes.NewReader(nil)); err == nil {
+		t.Fatal("Decode accepted an empty stream")
+	}
+}

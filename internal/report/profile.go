@@ -1,0 +1,141 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"spasm/internal/probe"
+	"spasm/internal/stats"
+)
+
+// ProfileCSV renders a time-resolved profile as CSV, one row per epoch:
+// the epoch's time window, the overhead buckets summed over processors,
+// the cache and coherence counters, the fabric utilization (mean and
+// busiest link), and the message-delay median and 99th percentile.
+func ProfileCSV(p *probe.Profile) string {
+	var b strings.Builder
+	b.WriteString("epoch,start_us,end_us,compute_us,memory_us,latency_us,contention_us,sync_us," +
+		"misses,invals,writebacks,messages,link_util,max_link_util,delay_p50_us,delay_p99_us\n")
+	for i := range p.Epochs {
+		e := &p.Epochs[i]
+		var misses, invals, writebacks, messages uint64
+		for j := range e.Procs {
+			misses += e.Procs[j].Misses
+			invals += e.Procs[j].Invals
+			writebacks += e.Procs[j].Writebacks
+			messages += e.Procs[j].Messages
+		}
+		mean, max := p.Utilization(i)
+		fmt.Fprintf(&b, "%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%.4f,%.4f,%.3f,%.3f\n",
+			i, p.EpochStart(i).Micros(), p.EpochStart(i+1).Micros(),
+			p.EpochSum(i, stats.Compute).Micros(),
+			p.EpochSum(i, stats.Memory).Micros(),
+			p.EpochSum(i, stats.Latency).Micros(),
+			p.EpochSum(i, stats.Contention).Micros(),
+			p.EpochSum(i, stats.Sync).Micros(),
+			misses, invals, writebacks, messages,
+			mean, max,
+			e.DelayQuantile(0.50).Micros(), e.DelayQuantile(0.99).Micros())
+	}
+	return b.String()
+}
+
+// ProfileTable renders a profile as a fixed-width table, one row per
+// epoch — the terminal view behind the -profile flags.
+func ProfileTable(p *probe.Profile) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Profile: %s on %s/%s p=%d (epoch %v, total %v)",
+			p.App, p.Machine, p.Topology, p.P, p.EpochLen, p.Total),
+		Headers: []string{"epoch", "t(us)", "compute", "memory", "latency", "contention", "sync",
+			"misses", "msgs", "util%", "max-link%"},
+	}
+	for i := range p.Epochs {
+		e := &p.Epochs[i]
+		var misses, messages uint64
+		for j := range e.Procs {
+			misses += e.Procs[j].Misses
+			messages += e.Procs[j].Messages
+		}
+		mean, max := p.Utilization(i)
+		t.Add(i, fmt.Sprintf("%.0f", p.EpochStart(i).Micros()),
+			p.EpochSum(i, stats.Compute).Micros(),
+			p.EpochSum(i, stats.Memory).Micros(),
+			p.EpochSum(i, stats.Latency).Micros(),
+			p.EpochSum(i, stats.Contention).Micros(),
+			p.EpochSum(i, stats.Sync).Micros(),
+			misses, messages,
+			100*mean, 100*max)
+	}
+	return t
+}
+
+// ProfileDoc is the JSON form of a profile for the spasmd API.  Like
+// RunDoc it is fully deterministic: every field is a function of the
+// run's spec.
+type ProfileDoc struct {
+	App      string  `json:"app"`
+	Machine  string  `json:"machine"`
+	Topology string  `json:"topology"`
+	P        int     `json:"p"`
+	NumLinks int     `json:"num_links,omitempty"`
+	EpochUS  float64 `json:"epoch_us"`
+	TotalUS  float64 `json:"total_us"`
+
+	Epochs []ProfileEpochDoc `json:"epochs"`
+}
+
+// ProfileEpochDoc is one epoch within a ProfileDoc, with the buckets
+// summed over processors and the link series reduced to utilization.
+type ProfileEpochDoc struct {
+	StartUS      float64 `json:"start_us"`
+	ComputeUS    float64 `json:"compute_us"`
+	MemoryUS     float64 `json:"memory_us"`
+	LatencyUS    float64 `json:"latency_us"`
+	ContentionUS float64 `json:"contention_us"`
+	SyncUS       float64 `json:"sync_us"`
+
+	Misses     uint64 `json:"misses"`
+	Invals     uint64 `json:"invals"`
+	Writebacks uint64 `json:"writebacks"`
+	Messages   uint64 `json:"messages"`
+
+	LinkUtil    float64 `json:"link_util,omitempty"`
+	MaxLinkUtil float64 `json:"max_link_util,omitempty"`
+	DelayP50US  float64 `json:"delay_p50_us"`
+	DelayP99US  float64 `json:"delay_p99_us"`
+}
+
+// ProfileJSON converts a profile to its deterministic JSON document form.
+func ProfileJSON(p *probe.Profile) ProfileDoc {
+	doc := ProfileDoc{
+		App:      p.App,
+		Machine:  p.Machine,
+		Topology: p.Topology,
+		P:        p.P,
+		NumLinks: p.NumLinks,
+		EpochUS:  p.EpochLen.Micros(),
+		TotalUS:  p.Total.Micros(),
+	}
+	for i := range p.Epochs {
+		e := &p.Epochs[i]
+		ed := ProfileEpochDoc{
+			StartUS:      p.EpochStart(i).Micros(),
+			ComputeUS:    p.EpochSum(i, stats.Compute).Micros(),
+			MemoryUS:     p.EpochSum(i, stats.Memory).Micros(),
+			LatencyUS:    p.EpochSum(i, stats.Latency).Micros(),
+			ContentionUS: p.EpochSum(i, stats.Contention).Micros(),
+			SyncUS:       p.EpochSum(i, stats.Sync).Micros(),
+			DelayP50US:   e.DelayQuantile(0.50).Micros(),
+			DelayP99US:   e.DelayQuantile(0.99).Micros(),
+		}
+		for j := range e.Procs {
+			ed.Misses += e.Procs[j].Misses
+			ed.Invals += e.Procs[j].Invals
+			ed.Writebacks += e.Procs[j].Writebacks
+			ed.Messages += e.Procs[j].Messages
+		}
+		ed.LinkUtil, ed.MaxLinkUtil = p.Utilization(i)
+		doc.Epochs = append(doc.Epochs, ed)
+	}
+	return doc
+}

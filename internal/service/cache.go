@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"encoding/json"
 
+	"spasm/internal/probe"
 	"spasm/internal/stats"
 )
 
@@ -12,12 +13,21 @@ import (
 // (byte-identical on every hit), the decoded statistics for in-process
 // consumers (figure assembly), and the error string for failed runs —
 // failures are deterministic too, so they are cached alongside results.
+//
+// The run's time-resolved profile is materialized lazily: the first
+// GET /v1/runs/{id}/profile re-executes the spec with the probe
+// attached (profiles are deterministic, so this is safe) and memoizes
+// the decoded profile plus its canonical encoding here, where it ages
+// out together with the result it belongs to.
 type entry struct {
 	id    string
 	req   RunRequest
 	doc   json.RawMessage
 	stats *stats.Run
 	err   string
+
+	prof      *probe.Profile
+	profBytes []byte
 }
 
 // lru is a fixed-capacity least-recently-used cache of entries keyed by

@@ -147,6 +147,48 @@ func DecodeResult(st *service.RunStatus) (*report.RunDoc, error) {
 	return &doc, nil
 }
 
+// Profile fetches a completed run's time-resolved telemetry as the
+// JSON profile document.  The server materializes the profile on first
+// request and serves the memoized copy afterwards; a run still in
+// flight yields HTTP 409 (with a Retry-After hint) as an *apiError.
+func (c *Client) Profile(ctx context.Context, id string) (*report.ProfileDoc, error) {
+	var doc report.ProfileDoc
+	if err := c.do(ctx, http.MethodGet, "/v1/runs/"+id+"/profile", nil, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// ProfileRaw fetches a completed run's profile in its canonical compact
+// binary encoding — byte-identical across requests and across servers
+// for the same spec.  Decode it with spasm.DecodeProfile.
+func (c *Client) ProfileRaw(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/runs/"+id+"/profile?format=bin", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var ed struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &ed) == nil && ed.Error != "" {
+			return nil, &apiError{Status: resp.StatusCode, Msg: ed.Error}
+		}
+		return nil, &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+	}
+	return data, nil
+}
+
 // SweepOpts narrows a figure or sweep request; zero values mean the
 // server's defaults (scale small, seed 1, procs 2..64, the paper's
 // three machines).

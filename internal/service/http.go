@@ -18,16 +18,18 @@ import (
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/runs        submit a run (RunRequest); 202 pending, 200 on cache hit
-//	GET  /v1/runs/{id}   poll a run by content address
-//	GET  /v1/figures/{n} regenerate paper figure n (blocks; runs are cached)
-//	GET  /v1/sweeps      ad-hoc sweep: ?app=&topo=&metric=&procs=&scale=&seed=
-//	GET  /healthz        liveness (503 once draining)
-//	GET  /metrics        Prometheus-style counters and latency histograms
+//	POST /v1/runs                submit a run (RunRequest); 202 pending, 200 on cache hit
+//	GET  /v1/runs/{id}           poll a run by content address
+//	GET  /v1/runs/{id}/profile   time-resolved telemetry (?format=json|csv|bin)
+//	GET  /v1/figures/{n}         regenerate paper figure n (blocks; runs are cached)
+//	GET  /v1/sweeps              ad-hoc sweep: ?app=&topo=&metric=&procs=&scale=&seed=
+//	GET  /healthz                liveness (503 once draining)
+//	GET  /metrics                Prometheus-style counters and latency histograms
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.instrument("/v1/runs", s.handleSubmit))
 	mux.HandleFunc("GET /v1/runs/{id}", s.instrument("/v1/runs/{id}", s.handleGetRun))
+	mux.HandleFunc("GET /v1/runs/{id}/profile", s.instrument("/v1/runs/{id}/profile", s.handleProfile))
 	mux.HandleFunc("GET /v1/figures/{n}", s.instrument("/v1/figures/{n}", s.handleFigure))
 	mux.HandleFunc("GET /v1/sweeps", s.instrument("/v1/sweeps", s.handleSweep))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -64,12 +66,24 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorDoc{Error: err.Error()})
 }
 
+// writeUnavailable maps back-pressure errors to 503 with a Retry-After
+// hint: queue-full is transient (retry almost immediately), draining
+// means this instance is going away (give the balancer time to notice).
+func writeUnavailable(w http.ResponseWriter, err error) {
+	retry := "1"
+	if errors.Is(err, ErrDraining) {
+		retry = "5"
+	}
+	w.Header().Set("Retry-After", retry)
+	writeErr(w, http.StatusServiceUnavailable, err)
+}
+
 // submitStatus maps a submission outcome to its HTTP form.
 func (s *Server) submitStatus(w http.ResponseWriter, j *Job, hit bool, err error) {
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
-		writeErr(w, http.StatusServiceUnavailable, err)
+		writeUnavailable(w, err)
 		return
 	default:
 		writeErr(w, http.StatusBadRequest, err)
@@ -112,6 +126,41 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleProfile serves a completed run's time-resolved telemetry.
+// The default form is the deterministic JSON document; ?format=csv
+// renders one row per epoch and ?format=bin streams the canonical
+// compact binary encoding (byte-identical for identical specs).
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	prof, raw, err := s.Profile(id)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrUnknownRun):
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such run %q", id))
+		return
+	case errors.Is(err, ErrRunActive):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusConflict, err)
+		return
+	default:
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		writeJSON(w, http.StatusOK, report.ProfileJSON(prof))
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		io.WriteString(w, report.ProfileCSV(prof))
+	case "bin":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(raw)
+	default:
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("unknown format %q (json, csv, bin)", r.URL.Query().Get("format")))
+	}
 }
 
 // sweepOptions parses the query parameters shared by the figure and
@@ -207,7 +256,7 @@ func writeFigure(w http.ResponseWriter, fr *exp.FigureResult, err error) {
 		case errors.As(err, &reqErr):
 			writeErr(w, http.StatusBadRequest, err)
 		case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
-			writeErr(w, http.StatusServiceUnavailable, err)
+			writeUnavailable(w, err)
 		default:
 			writeErr(w, http.StatusInternalServerError, err)
 		}

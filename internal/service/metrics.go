@@ -43,6 +43,9 @@ type Metrics struct {
 	coalesced uint64
 	done      uint64
 	failed    uint64
+	rejected  uint64 // submissions bounced with ErrQueueFull
+	profHits  uint64 // profiles served from the memoized encoding
+	profMiss  uint64 // profiles computed on demand
 	busy      int
 	byPath    map[string]*histogram
 }
@@ -69,6 +72,22 @@ func (m *Metrics) jobFinished(ok bool) {
 		m.done++
 	} else {
 		m.failed++
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) jobRejected() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) profileServed(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.profHits++
+	} else {
+		m.profMiss++
 	}
 	m.mu.Unlock()
 }
@@ -103,6 +122,9 @@ func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evict
 	fmt.Fprintf(b, "spasmd_jobs_coalesced_total %d\n", m.coalesced)
 	fmt.Fprintf(b, "spasmd_jobs_done_total %d\n", m.done)
 	fmt.Fprintf(b, "spasmd_jobs_failed_total %d\n", m.failed)
+	fmt.Fprintf(b, "spasmd_jobs_rejected_total %d\n", m.rejected)
+	fmt.Fprintf(b, "spasmd_profile_cache_hits_total %d\n", m.profHits)
+	fmt.Fprintf(b, "spasmd_profile_cache_misses_total %d\n", m.profMiss)
 	fmt.Fprintf(b, "spasmd_cache_hits_total %d\n", hits)
 	fmt.Fprintf(b, "spasmd_cache_misses_total %d\n", misses)
 	fmt.Fprintf(b, "spasmd_cache_evictions_total %d\n", evictions)

@@ -25,6 +25,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -35,6 +36,7 @@ import (
 	"sync"
 
 	"spasm"
+	"spasm/internal/probe"
 	"spasm/internal/report"
 	"spasm/internal/stats"
 )
@@ -81,6 +83,12 @@ var (
 	ErrDraining = errors.New("service: draining, not accepting jobs")
 	// ErrQueueFull is returned when the pending queue is at capacity.
 	ErrQueueFull = errors.New("service: job queue full")
+	// ErrUnknownRun is returned by Profile for an id that is neither
+	// active nor cached.
+	ErrUnknownRun = errors.New("service: no such run")
+	// ErrRunActive is returned by Profile while the run is still
+	// pending or running.
+	ErrRunActive = errors.New("service: run not complete yet")
 )
 
 // Job is one queued, running, or completed simulation.  Its ID is the
@@ -177,6 +185,7 @@ func (s *Server) Submit(spec spasm.Spec) (job *Job, hit bool, err error) {
 	case s.queue <- j:
 	default:
 		s.mu.Unlock()
+		s.metrics.jobRejected()
 		return nil, false, ErrQueueFull
 	}
 	s.active[id] = j
@@ -283,6 +292,76 @@ func (s *Server) runStats(ctx context.Context, spec spasm.Spec) (*stats.Run, err
 		return nil, fmt.Errorf("service: run %s: %s", j.id[:12], j.entry.err)
 	}
 	return j.entry.stats, nil
+}
+
+// Profile returns a completed run's time-resolved telemetry: the
+// decoded profile and its canonical binary encoding (byte-identical on
+// every call for the same spec).  The profile is computed on first
+// request — by re-running the spec with the probe attached, which is
+// sound because profiles are deterministic — and memoized on the run's
+// cache entry.  It returns ErrUnknownRun for ids that are neither
+// active nor cached, ErrRunActive while the run is still in flight, and
+// the run's own error for failed runs.
+func (s *Server) Profile(id string) (*probe.Profile, []byte, error) {
+	s.mu.Lock()
+	if _, ok := s.active[id]; ok {
+		s.mu.Unlock()
+		return nil, nil, ErrRunActive
+	}
+	e, ok := s.cache.get(id, false)
+	if !ok {
+		s.mu.Unlock()
+		return nil, nil, ErrUnknownRun
+	}
+	if e.err != "" {
+		s.mu.Unlock()
+		return nil, nil, fmt.Errorf("service: run %s failed: %s", id[:12], e.err)
+	}
+	if e.prof != nil {
+		prof, raw := e.prof, e.profBytes
+		s.mu.Unlock()
+		s.metrics.profileServed(true)
+		return prof, raw, nil
+	}
+	req := e.req
+	s.mu.Unlock()
+	s.metrics.profileServed(false)
+
+	spec, err := req.Spec()
+	if err != nil {
+		return nil, nil, err
+	}
+	prof, err := profileSpecSafely(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	var buf bytes.Buffer
+	if _, err := prof.Encode(&buf); err != nil {
+		return nil, nil, err
+	}
+	raw := buf.Bytes()
+
+	// Memoize on the entry if it is still cached (it may have been
+	// evicted, or another request may have raced us to the same
+	// deterministic bytes — either way this is safe).
+	s.mu.Lock()
+	if e, ok := s.cache.get(id, false); ok && e.prof == nil {
+		e.prof, e.profBytes = prof, raw
+	}
+	s.mu.Unlock()
+	return prof, raw, nil
+}
+
+// profileSpecSafely shields the daemon from panicking instrumented runs,
+// exactly like runSpecSafely does for plain runs.
+func profileSpecSafely(spec spasm.Spec) (prof *probe.Profile, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			prof, err = nil, fmt.Errorf("profiled run panicked: %v", r)
+		}
+	}()
+	_, prof, err = spasm.RunSpecProfiled(spec)
+	return prof, err
 }
 
 // QueueDepth reports the number of jobs waiting for a worker.

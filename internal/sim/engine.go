@@ -60,6 +60,14 @@ type Engine struct {
 	// the simulated clock passes it — a watchdog against runaway
 	// simulations (livelocked spin loops, mis-sized workloads).
 	MaxTime Time
+
+	// Tick, when non-nil, is invoked from Run every time the simulated
+	// clock is about to advance to a strictly later value, with the new
+	// time.  It runs before the advancing event dispatches, so all
+	// state mutations recorded so far happened at or before the
+	// previous clock value — the hook telemetry probes use to close
+	// sampling epochs.  Tick must not call back into the engine.
+	Tick func(now Time)
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -77,6 +85,9 @@ func (e *Engine) Procs() []*Proc { return e.procs }
 func (e *Engine) schedule(at Time, p *Proc) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %v < now %v", at, e.now))
+	}
+	if at > p.sched {
+		p.sched = at
 	}
 	e.seq++
 	heap.Push(&e.events, event{at: at, seq: e.seq, p: p})
@@ -118,6 +129,9 @@ func (e *Engine) Run() error {
 		ev := heap.Pop(&e.events).(event)
 		if ev.p.terminated {
 			continue // stale wakeup for a finished process
+		}
+		if e.Tick != nil && ev.at > e.now {
+			e.Tick(ev.at)
 		}
 		e.now = ev.at
 		if e.MaxTime > 0 && e.now > e.MaxTime {

@@ -22,6 +22,7 @@ type Proc struct {
 	parked     bool
 	terminated bool
 	lag        Time // local clock advance not yet materialized
+	sched      Time // latest scheduled resumption (see Horizon)
 }
 
 // Engine returns the engine this process runs on.
@@ -30,6 +31,19 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Now reports the process's local simulated time (the global event time
 // plus any deferred local work).
 func (p *Proc) Now() Time { return p.eng.now + p.lag }
+
+// Horizon reports how far the process has progressed along its own
+// timeline: its local clock, or its latest scheduled resumption if that
+// lies further out.  A process that flushed deferred work (or holds
+// until a future wakeup) has already accounted the simulated time up to
+// that event even though Now still reports the global clock — telemetry
+// probes use Horizon to place such charges in the right sampling epoch.
+func (p *Proc) Horizon() Time {
+	if n := p.Now(); n > p.sched {
+		return n
+	}
+	return p.sched
+}
 
 // block yields control to the engine and waits to be resumed.
 func (p *Proc) block() {

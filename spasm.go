@@ -55,6 +55,7 @@ import (
 	"spasm/internal/logp"
 	"spasm/internal/machine"
 	"spasm/internal/mem"
+	"spasm/internal/probe"
 	"spasm/internal/report"
 	"spasm/internal/sim"
 	"spasm/internal/stats"
@@ -388,6 +389,55 @@ func Accuracy(frs []*FigureResult) []AccuracyRow { return exp.Accuracy(frs) }
 // Summarize aggregates accuracy rows by figure metric — the
 // reproduction's one-screen dashboard.
 func Summarize(rows []AccuracyRow) []AccuracySummary { return exp.Summarize(rows) }
+
+// Time-resolved telemetry (see internal/probe): a profile samples, per
+// simulated-time epoch, the per-processor overhead-bucket deltas, the
+// per-link occupancy of the detailed fabric, and message-delay
+// histograms.
+type (
+	// Profile is a run's time-resolved telemetry.
+	Profile = probe.Profile
+	// ProfileEpoch is one sampling interval of a Profile.
+	ProfileEpoch = probe.Epoch
+	// ProfileConfig parameterizes profiling (epoch length and budget).
+	ProfileConfig = probe.Config
+)
+
+// RunProfiled runs the named application like Run with a telemetry
+// profiler attached, returning the run result and its profile.  The
+// profile is deterministic: identical specs yield byte-identical
+// encodings (Profile.Encode).  Profiling does not perturb the simulated
+// execution — the result is identical to an unprofiled run's.
+func RunProfiled(appName string, scale Scale, seed int64, cfg Config) (*Result, *Profile, error) {
+	return RunProfiledConfig(appName, scale, seed, cfg, ProfileConfig{})
+}
+
+// RunProfiledConfig is RunProfiled with explicit profiler parameters.
+func RunProfiledConfig(appName string, scale Scale, seed int64, cfg Config, pc ProfileConfig) (*Result, *Profile, error) {
+	prog, err := apps.New(appName, scale, seed)
+	if err != nil {
+		var extErr error
+		prog, extErr = apps.NewExtended(appName, scale, seed)
+		if extErr != nil {
+			return nil, nil, err
+		}
+	}
+	pr := probe.New(pc)
+	res, err := app.RunInstrumented(prog, cfg, nil, pr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, pr.Profile(), nil
+}
+
+// DecodeProfile reads a profile serialized with Profile.Encode.
+func DecodeProfile(r io.Reader) (*Profile, error) { return probe.Decode(r) }
+
+// ProfileCSV renders a profile as CSV, one row per epoch.
+func ProfileCSV(p *Profile) string { return report.ProfileCSV(p) }
+
+// ProfileTable renders a profile as a fixed-width table.
+func ProfileTable(p *Profile) string { return report.ProfileTable(p).String() }
 
 // Trace recording and replay (execution-driven vs trace-driven
 // methodology).

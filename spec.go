@@ -7,6 +7,7 @@ import (
 
 	"spasm/internal/app"
 	"spasm/internal/apps"
+	"spasm/internal/probe"
 )
 
 // Spec is the canonical description of one simulation run: the
@@ -133,4 +134,29 @@ func RunSpec(spec Spec) (*Result, error) {
 		}
 	}
 	return app.Run(prog, spec.Config())
+}
+
+// RunSpecProfiled is RunSpec with a telemetry profiler attached; it is
+// the canonical path behind the spasmd /v1/runs/{id}/profile endpoint.
+// Profiles inherit RunSpec's determinism: the same spec always yields a
+// byte-identical encoded profile.
+func RunSpecProfiled(spec Spec) (*Result, *Profile, error) {
+	spec = spec.Canonical()
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	prog, err := apps.New(spec.App, spec.Scale, spec.Seed)
+	if err != nil {
+		var extErr error
+		prog, extErr = apps.NewExtended(spec.App, spec.Scale, spec.Seed)
+		if extErr != nil {
+			return nil, nil, err
+		}
+	}
+	pr := probe.New(probe.Config{})
+	res, err := app.RunInstrumented(prog, spec.Config(), nil, pr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, pr.Profile(), nil
 }
