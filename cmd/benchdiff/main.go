@@ -1,0 +1,199 @@
+// Command benchdiff records and gates simulator benchmark performance.
+//
+// It runs the root-package benchmarks at a pinned iteration count (so two
+// runs on the same machine do comparable amounts of work), parses the
+// standard `go test -bench` output, and either records the result as a
+// baseline or compares against a committed baseline and exits non-zero on
+// gross regressions.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff -record          # write BENCH_baseline.json
+//	go run ./cmd/benchdiff                  # compare, fail on >50% ns/op regression
+//	go run ./cmd/benchdiff -threshold 2.0   # looser gate
+//
+// The gate is deliberately loose (shared CI runners are noisy); its job is
+// to catch the "accidentally quadratic" class of regression, not 5% drift.
+// Tighten -threshold for quiet dedicated hardware.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+}
+
+// Baseline is the committed benchmark record.
+type Baseline struct {
+	// Note documents what state of the tree the numbers describe.
+	Note string `json:"note,omitempty"`
+	// CPU is the benchmarking host's CPU string, for sanity-checking
+	// that a comparison is running on comparable hardware.
+	CPU string `json:"cpu,omitempty"`
+	// Benchtime is the pinned -benchtime the numbers were taken at.
+	Benchtime string `json:"benchtime"`
+	// Benchmarks maps benchmark name (e.g.
+	// "BenchmarkSimulationCost/target") to its measurement.
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline file to read or write")
+		record       = flag.Bool("record", false, "record a new baseline instead of comparing")
+		bench        = flag.String("bench", "BenchmarkSimulationCost", "benchmark pattern to run")
+		benchtime    = flag.String("benchtime", "10x", "pinned -benchtime (use Nx forms for comparability)")
+		pkg          = flag.String("pkg", ".", "package to benchmark")
+		threshold    = flag.Float64("threshold", 1.5, "fail when current ns/op exceeds baseline * threshold")
+		note         = flag.String("note", "", "note stored with a recorded baseline")
+	)
+	flag.Parse()
+
+	results, cpu, err := runBench(*bench, *benchtime, *pkg)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results matched %q", *bench))
+	}
+
+	if *record {
+		b := Baseline{Note: *note, CPU: cpu, Benchtime: *benchtime, Benchmarks: results}
+		out, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*baselinePath, out, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d benchmarks to %s\n", len(results), *baselinePath)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("reading baseline (run with -record to create): %w", err))
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *baselinePath, err))
+	}
+	if base.CPU != "" && cpu != "" && base.CPU != cpu {
+		fmt.Printf("note: baseline CPU %q != current CPU %q; treat ratios with care\n", base.CPU, cpu)
+	}
+
+	failed := false
+	for name, cur := range results {
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("%-40s %12.0f ns/op  (no baseline entry)\n", name, cur.NsPerOp)
+			continue
+		}
+		ratio := cur.NsPerOp / b.NsPerOp
+		verdict := "ok"
+		if ratio > *threshold {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-40s %12.0f ns/op  baseline %12.0f  ratio %.2fx  %s\n",
+			name, cur.NsPerOp, b.NsPerOp, ratio, verdict)
+	}
+	if failed {
+		fmt.Printf("FAIL: ns/op regressed more than %.0f%% vs %s\n", (*threshold-1)*100, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Println("PASS: no benchmark regressed past the gate")
+}
+
+// runBench executes `go test -bench` and parses its output.  Repeated
+// runs of the same benchmark (from -count) keep the fastest ns/op, which
+// is the stablest statistic on noisy shared runners.
+func runBench(pattern, benchtime, pkg string) (map[string]Result, string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", pattern, "-benchmem", "-benchtime", benchtime, pkg)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, "", fmt.Errorf("go test -bench: %w", err)
+	}
+	results := make(map[string]Result)
+	var cpu string
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		r, name, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		if prev, seen := results[name]; !seen || r.NsPerOp < prev.NsPerOp {
+			results[name] = r
+		}
+	}
+	return results, cpu, sc.Err()
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkSimulationCost/target-8   10   12319607 ns/op   23872 sim_events   2676159 B/op   3721 allocs/op
+func parseBenchLine(line string) (Result, string, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, "", false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so baselines survive core-count changes.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, "", false
+	}
+	r := Result{Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			r.NsPerOp, err = strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Result{}, "", false
+			}
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	if r.NsPerOp == 0 {
+		return Result{}, "", false
+	}
+	return r, name, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+package spasm
+
+// Bit-for-bit determinism lock: a Tiny sweep of every application on
+// every machine characterization must produce byte-identical report
+// documents across runs AND across simulator-engineering changes.  The
+// golden file was generated before the kernel fast-path work (PR 3) and
+// guards that heap, routing, and directory optimizations never change a
+// single simulated number.  Regenerate with SPASM_UPDATE=1 only when a
+// change is *intended* to alter simulated results.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spasm/internal/report"
+)
+
+const runDocGoldenPath = "testdata/rundocs_tiny.golden.json"
+
+// goldenRunDocs simulates the determinism corpus: the full Tiny suite on
+// all machine kinds over the full network, plus the target machine on
+// the cube and mesh (exercising every routing path).
+func goldenRunDocs(t *testing.T) []report.RunDoc {
+	t.Helper()
+	var docs []report.RunDoc
+	add := func(app string, kind Kind, topo string) {
+		res, err := Run(app, Tiny, 1, Config{Kind: kind, Topology: topo, P: 8})
+		if err != nil {
+			t.Fatalf("%s on %v/%s: %v", app, kind, topo, err)
+		}
+		docs = append(docs, report.RunJSON(res))
+	}
+	for _, app := range Apps() {
+		for _, kind := range Machines() {
+			add(app, kind, "full")
+		}
+		add(app, Target, "cube")
+		add(app, Target, "mesh")
+	}
+	return docs
+}
+
+func TestRunDocsBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Tiny suite")
+	}
+	got, err := json.MarshalIndent(goldenRunDocs(t), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if os.Getenv("SPASM_UPDATE") != "" {
+		if err := os.MkdirAll(filepath.Dir(runDocGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(runDocGoldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", runDocGoldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(runDocGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with SPASM_UPDATE=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("RunDoc JSON diverged from golden %s (%d vs %d bytes); "+
+			"simulated results are supposed to be bit-for-bit stable",
+			runDocGoldenPath, len(got), len(want))
+	}
+}

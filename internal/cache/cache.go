@@ -89,10 +89,15 @@ type line struct {
 	used  uint64 // LRU timestamp
 }
 
-// Cache is one node's private cache.
+// Cache is one node's private cache.  Lines are stored as one flat array
+// in set-major order: set s occupies lines[s*assoc : (s+1)*assoc].  The
+// flat layout drops the per-set slice headers of a [][]line and keeps a
+// set's lines contiguous, so a lookup is one bounds-checked subslice of a
+// single allocation.
 type Cache struct {
 	cfg     Config
-	sets    [][]line
+	lines   []line
+	assoc   uint64
 	setMask uint64
 	clock   uint64
 
@@ -106,19 +111,21 @@ type Cache struct {
 func New(cfg Config) *Cache {
 	cfg.validate()
 	n := cfg.Sets()
-	c := &Cache{cfg: cfg, setMask: uint64(n - 1)}
-	c.sets = make([][]line, n)
-	backing := make([]line, n*cfg.Assoc)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	return &Cache{
+		cfg:     cfg,
+		lines:   make([]line, n*cfg.Assoc),
+		assoc:   uint64(cfg.Assoc),
+		setMask: uint64(n - 1),
 	}
-	return c
 }
 
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
 
-func (c *Cache) set(b mem.Block) []line { return c.sets[uint64(b)&c.setMask] }
+func (c *Cache) set(b mem.Block) []line {
+	i := (uint64(b) & c.setMask) * c.assoc
+	return c.lines[i : i+c.assoc]
+}
 
 func (c *Cache) find(b mem.Block) *line {
 	set := c.set(b)
@@ -221,11 +228,9 @@ func (c *Cache) Invalidate(b mem.Block) State {
 
 // ForEach calls fn for every valid line, in set order.
 func (c *Cache) ForEach(fn func(b mem.Block, s State)) {
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].state != Invalid {
-				fn(set[i].block, set[i].state)
-			}
+	for i := range c.lines {
+		if c.lines[i].state != Invalid {
+			fn(c.lines[i].block, c.lines[i].state)
 		}
 	}
 }

@@ -131,6 +131,34 @@ func DefaultCosts() Costs {
 type entry struct {
 	owner   int    // cache owning the block (-1: memory is current)
 	sharers uint64 // bit per node that may hold a copy (includes owner)
+	home    int32  // memoized home node of the block (-1: not yet computed)
+}
+
+// Directory entries and their block locks live in fixed-size chunks
+// indexed by block id rather than in maps: block ids are dense (the
+// address space is compact from zero), so a chunked array gives O(1)
+// lookups with no hashing and no per-entry allocation on the miss path.
+// Chunks never move once allocated, which matters: the protocol holds
+// *entry and *sim.Lock pointers across blocking operations, so the
+// backing storage must be pointer-stable under growth.
+const (
+	dirChunkShift = 10 // blocks per chunk (1024)
+	dirChunkSize  = 1 << dirChunkShift
+	dirChunkMask  = dirChunkSize - 1
+)
+
+type dirChunk struct {
+	entries [dirChunkSize]entry
+	locks   [dirChunkSize]sim.Lock
+}
+
+func newDirChunk() *dirChunk {
+	ch := &dirChunk{}
+	for i := range ch.entries {
+		ch.entries[i].owner = -1
+		ch.entries[i].home = -1
+	}
+	return ch
 }
 
 // Engine is the coherence engine over P caches and their home memories.
@@ -144,8 +172,7 @@ type Engine struct {
 	// default, the paper's target).  Set it before the first access.
 	Protocol Protocol
 
-	dir   map[mem.Block]*entry
-	locks map[mem.Block]*sim.Lock
+	dir []*dirChunk // chunked by block id; chunks allocated on first touch
 
 	// Transactions counts misses serviced (reads + writes + upgrades).
 	Transactions uint64
@@ -166,8 +193,14 @@ func NewEngine(space *mem.Space, cacheCfg cache.Config, costs Costs, tr Transpor
 		space: space,
 		costs: costs,
 		tr:    tr,
-		dir:   make(map[mem.Block]*entry),
-		locks: make(map[mem.Block]*sim.Lock),
+	}
+	// Size the chunk index from the memory layout.  Applications allocate
+	// in Setup, before the machine (and this engine) is built, so this
+	// covers the whole footprint; chunkFor still grows the index if an
+	// application allocates during its body.
+	if sz := space.Size(); sz > 0 {
+		nChunks := int(space.BlockOf(sz-1))>>dirChunkShift + 1
+		e.dir = make([]*dirChunk, nChunks)
 	}
 	for i := 0; i < space.P(); i++ {
 		e.caches = append(e.caches, cache.New(cacheCfg))
@@ -178,22 +211,46 @@ func NewEngine(space *mem.Space, cacheCfg cache.Config, costs Costs, tr Transpor
 // Cache returns node n's cache (exposed for tests and statistics).
 func (e *Engine) Cache(n int) *cache.Cache { return e.caches[n] }
 
-func (e *Engine) entryFor(b mem.Block) *entry {
-	en, ok := e.dir[b]
-	if !ok {
-		en = &entry{owner: -1}
-		e.dir[b] = en
+// chunkFor returns block b's chunk, allocating it on first touch.
+func (e *Engine) chunkFor(b mem.Block) *dirChunk {
+	ci := int(b >> dirChunkShift)
+	for ci >= len(e.dir) {
+		e.dir = append(e.dir, nil)
 	}
-	return en
+	ch := e.dir[ci]
+	if ch == nil {
+		ch = newDirChunk()
+		e.dir[ci] = ch
+	}
+	return ch
+}
+
+func (e *Engine) entryFor(b mem.Block) *entry {
+	return &e.chunkFor(b).entries[b&dirChunkMask]
 }
 
 func (e *Engine) lockFor(b mem.Block) *sim.Lock {
-	l, ok := e.locks[b]
-	if !ok {
-		l = &sim.Lock{}
-		e.locks[b] = l
+	return &e.chunkFor(b).locks[b&dirChunkMask]
+}
+
+// lookup returns block b's directory entry without allocating, or nil if
+// its chunk was never touched.
+func (e *Engine) lookup(b mem.Block) *entry {
+	ci := int(b >> dirChunkShift)
+	if ci >= len(e.dir) || e.dir[ci] == nil {
+		return nil
 	}
-	return l
+	return &e.dir[ci].entries[b&dirChunkMask]
+}
+
+// homeOf returns (and memoizes) the home node of block b, replacing the
+// binary search over memory regions on every miss with a one-time fill of
+// the directory entry.
+func (e *Engine) homeOf(b mem.Block, en *entry) int {
+	if en.home < 0 {
+		en.home = int32(e.space.Home(e.space.BlockBase(b)))
+	}
+	return int(en.home)
 }
 
 // send prices one message and accumulates its overheads into st.
@@ -270,7 +327,7 @@ func (e *Engine) miss(p *sim.Proc, st *stats.Proc, r int, b mem.Block, write boo
 	e.Transactions++
 
 	en := e.entryFor(b)
-	h := e.space.Home(e.space.BlockBase(b))
+	h := e.homeOf(b, en)
 	now := p.Now()
 	msgs0 := st.Messages
 
@@ -359,7 +416,7 @@ func (e *Engine) upgrade(p *sim.Proc, st *stats.Proc, r int, b mem.Block) {
 	}
 
 	en := e.entryFor(b)
-	h := e.space.Home(e.space.BlockBase(b))
+	h := e.homeOf(b, en)
 	now := p.Now()
 	msgs0 := st.Messages
 
@@ -416,7 +473,7 @@ func (e *Engine) updateWrite(p *sim.Proc, st *stats.Proc, r int, b mem.Block) {
 // lock or accepts a fresh acquisition.
 func (e *Engine) updateWriteLocked(p *sim.Proc, st *stats.Proc, r int, b mem.Block) {
 	en := e.entryFor(b)
-	h := e.space.Home(e.space.BlockBase(b))
+	h := e.homeOf(b, en)
 	now := p.Now()
 	msgs0 := st.Messages
 
@@ -593,7 +650,7 @@ func (e *Engine) fill(st *stats.Proc, t sim.Time, r int, b mem.Block, s cache.St
 	if ven.owner == r {
 		ven.owner = -1 // memory becomes current
 	}
-	vh := e.space.Home(e.space.BlockBase(v.Block))
+	vh := e.homeOf(v.Block, ven)
 	if vh != r {
 		t = e.send(st, t, r, vh, e.costs.DataBytes, Writeback)
 	}
@@ -620,13 +677,13 @@ func (e *Engine) CheckInvariants() error {
 					return
 				}
 				owners[b] = n
-				if en := e.dir[b]; en == nil || en.owner != n {
+				if en := e.lookup(b); en == nil || en.owner != n {
 					err = fmt.Errorf("block %d owned by cache %d but directory disagrees", b, n)
 					return
 				}
 			}
 			// 2. Every valid copy is covered by a directory sharer bit.
-			if en := e.dir[b]; en == nil || en.sharers&(1<<uint(n)) == 0 {
+			if en := e.lookup(b); en == nil || en.sharers&(1<<uint(n)) == 0 {
 				err = fmt.Errorf("cache %d holds block %d without a directory sharer bit", n, b)
 			}
 		})
@@ -646,10 +703,20 @@ func (e *Engine) CheckInvariants() error {
 		}
 	}
 	// 4. Directory owner fields point at caches that really own.
-	for b, en := range e.dir {
-		if en.owner >= 0 && !e.caches[en.owner].State(b).Owned() {
-			return fmt.Errorf("directory says %d owns block %d but its cache state is %v",
-				en.owner, b, e.caches[en.owner].State(b))
+	for ci, ch := range e.dir {
+		if ch == nil {
+			continue
+		}
+		for i := range ch.entries {
+			en := &ch.entries[i]
+			if en.owner < 0 {
+				continue
+			}
+			b := mem.Block(ci<<dirChunkShift | i)
+			if !e.caches[en.owner].State(b).Owned() {
+				return fmt.Errorf("directory says %d owns block %d but its cache state is %v",
+					en.owner, b, e.caches[en.owner].State(b))
+			}
 		}
 	}
 	return nil

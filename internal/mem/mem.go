@@ -62,6 +62,13 @@ type Space struct {
 	blockShift uint
 	next       Addr
 	regions    []*Array
+
+	// homes memoizes the home node per block (-1: not yet computed).
+	// Every block belongs to exactly one home — arrays are block-aligned
+	// and Blocked chunks are padded to block boundaries — so the memo is
+	// sound, and it takes the binary search over regions off the
+	// per-reference hot path of the cache-less machine models.
+	homes []int16
 }
 
 // NewSpace returns an empty address space distributed over p nodes with
@@ -149,13 +156,32 @@ func (s *Space) roundUp(b Addr) Addr {
 
 // Home returns the home node of addr.  It panics on an address outside
 // any allocated region: referencing unallocated memory is always an
-// application bug.
+// application bug.  Results are memoized per block, so repeated
+// references resolve with a single array load.
 func (s *Space) Home(a Addr) int {
+	b := int(a >> s.blockShift)
+	if b < len(s.homes) {
+		if h := s.homes[b]; h >= 0 {
+			return int(h)
+		}
+	} else if a < s.next {
+		// The memo table lags allocation; grow it to cover the space.
+		grown := make([]int16, int(s.next>>s.blockShift)+1)
+		copy(grown, s.homes)
+		for i := len(s.homes); i < len(grown); i++ {
+			grown[i] = -1
+		}
+		s.homes = grown
+	}
 	r := s.Region(a)
 	if r == nil {
 		panic(fmt.Sprintf("mem: Home of unallocated address %#x", uint64(a)))
 	}
-	return r.home(a)
+	h := r.home(a)
+	if b < len(s.homes) && h <= 0x7fff {
+		s.homes[b] = int16(h)
+	}
+	return h
 }
 
 // Region returns the array containing addr, or nil.

@@ -11,10 +11,18 @@ import "fmt"
 
 // Ring is a bidirectional ring: each node links to both neighbours, and
 // messages take the shorter way around (ties go clockwise).
-type Ring struct{ p int }
+type Ring struct {
+	p  int
+	rt *routeTable
+}
 
 // NewRing returns a bidirectional ring over p nodes.
-func NewRing(p int) *Ring { checkP(p); return &Ring{p: p} }
+func NewRing(p int) *Ring {
+	checkP(p)
+	r := &Ring{p: p}
+	r.rt = buildRouteTable(p, r.appendRoute)
+	return r
+}
 
 // Ring link ids: node*2 is the clockwise link (to node+1), node*2+1 the
 // counter-clockwise link (to node-1).
@@ -33,21 +41,28 @@ func (r *Ring) check(src, dst int) {
 	}
 }
 
-// Route takes the shorter direction around the ring.
-func (r *Ring) Route(src, dst int) []int {
-	r.check(src, dst)
+// appendRoute takes the shorter direction around the ring.
+func (r *Ring) appendRoute(buf []int, src, dst int) []int {
 	fwd := (dst - src + r.p) % r.p
-	var route []int
 	if fwd <= r.p-fwd { // clockwise (ties clockwise)
 		for n := src; n != dst; n = (n + 1) % r.p {
-			route = append(route, n*2+cw)
+			buf = append(buf, n*2+cw)
 		}
 	} else {
 		for n := src; n != dst; n = (n - 1 + r.p) % r.p {
-			route = append(route, n*2+ccw)
+			buf = append(buf, n*2+ccw)
 		}
 	}
-	return route
+	return buf
+}
+
+// Route returns the shorter-way route from the precomputed table.
+func (r *Ring) Route(src, dst int) []int {
+	r.check(src, dst)
+	if r.rt != nil {
+		return r.rt.route(src, dst)
+	}
+	return r.appendRoute(nil, src, dst)
 }
 
 func (r *Ring) LinkEnds(id int) (from, to int) {
@@ -88,13 +103,16 @@ func (r *Ring) CrossesBisection(src, dst int) bool {
 // shorter way around each dimension.
 type Torus struct {
 	p, rows, cols int
+	rt            *routeTable
 }
 
 // NewTorus returns a 2-D torus over p = 2^k nodes with the same aspect
 // ratio rule as the mesh.
 func NewTorus(p int) *Torus {
 	m := NewMesh(p)
-	return &Torus{p: p, rows: m.Rows(), cols: m.Cols()}
+	t := &Torus{p: p, rows: m.Rows(), cols: m.Cols()}
+	t.rt = buildRouteTable(p, t.appendRoute)
+	return t
 }
 
 func (t *Torus) Name() string  { return "torus" }
@@ -122,20 +140,18 @@ func shorter(a, b, n int) (step, dist int) {
 	return -1, n - fwd
 }
 
-// Route is X-first dimension-ordered with wraparound.
-func (t *Torus) Route(src, dst int) []int {
-	t.check(src, dst)
+// appendRoute is X-first dimension-ordered with wraparound.
+func (t *Torus) appendRoute(buf []int, src, dst int) []int {
 	sr, sc := t.coords(src)
 	dr, dc := t.coords(dst)
-	var route []int
 	r, c := sr, sc
 	if step, dist := shorter(sc, dc, t.cols); dist > 0 {
 		for i := 0; i < dist; i++ {
 			if step > 0 {
-				route = append(route, t.node(r, c)*4+east)
+				buf = append(buf, t.node(r, c)*4+east)
 				c = (c + 1) % t.cols
 			} else {
-				route = append(route, t.node(r, c)*4+west)
+				buf = append(buf, t.node(r, c)*4+west)
 				c = (c - 1 + t.cols) % t.cols
 			}
 		}
@@ -143,15 +159,24 @@ func (t *Torus) Route(src, dst int) []int {
 	if step, dist := shorter(sr, dr, t.rows); dist > 0 {
 		for i := 0; i < dist; i++ {
 			if step > 0 {
-				route = append(route, t.node(r, c)*4+south)
+				buf = append(buf, t.node(r, c)*4+south)
 				r = (r + 1) % t.rows
 			} else {
-				route = append(route, t.node(r, c)*4+north)
+				buf = append(buf, t.node(r, c)*4+north)
 				r = (r - 1 + t.rows) % t.rows
 			}
 		}
 	}
-	return route
+	return buf
+}
+
+// Route returns the dimension-ordered route from the precomputed table.
+func (t *Torus) Route(src, dst int) []int {
+	t.check(src, dst)
+	if t.rt != nil {
+		return t.rt.route(src, dst)
+	}
+	return t.appendRoute(nil, src, dst)
 }
 
 func (t *Torus) LinkEnds(id int) (from, to int) {

@@ -28,9 +28,13 @@ type Fabric struct {
 	injFree  []sim.Time
 	ejFree   []sim.Time
 
-	// slow maps degraded links to their slowdown factor (fault
+	// slow holds the per-link slowdown factor for degraded links (fault
 	// injection: a link that transmits N times slower than nominal).
-	slow map[int]int
+	// It stays nil until the first Degrade call, keeping the factor scan
+	// off the Reserve hot path for undamaged fabrics; once allocated it
+	// is indexed by link id, so the scan is an array walk with no map
+	// lookups.  Entries are 0 for healthy links, >= 1 for degraded ones.
+	slow []int32
 
 	// Observer, when non-nil, is invoked from Reserve for every message
 	// the fabric carries: the requested departure time, the resulting
@@ -69,9 +73,9 @@ func (f *Fabric) Degrade(link, factor int) {
 		panic(fmt.Sprintf("network: Degrade factor %d < 1", factor))
 	}
 	if f.slow == nil {
-		f.slow = make(map[int]int)
+		f.slow = make([]int32, len(f.linkFree))
 	}
-	f.slow[link] = factor
+	f.slow[link] = int32(factor)
 }
 
 // Xmit is the result of reserving the fabric for one message.
@@ -97,9 +101,9 @@ func (f *Fabric) Reserve(now sim.Time, src, dst, bytes int) Xmit {
 	dur := sim.Time(bytes)*f.ByteTime + sim.Time(len(route))*f.SwitchDelay
 	if f.slow != nil {
 		// A circuit is only as fast as its slowest link.
-		worst := 1
+		worst := int32(1)
 		for _, l := range route {
-			if s, ok := f.slow[l]; ok && s > worst {
+			if s := f.slow[l]; s > worst {
 				worst = s
 			}
 		}

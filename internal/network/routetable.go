@@ -1,0 +1,59 @@
+package network
+
+// Route-table precomputation.  The topologies of the study are small
+// (the coherence directory caps machines at 64 nodes) and their routing
+// is deterministic, so every route can be materialized once at
+// construction into a single contiguous arena.  Route then becomes two
+// array loads and a slice header — zero allocations per call — which
+// takes per-message route building off the fabric's hot path entirely.
+//
+// Above routeTableMaxP nodes the table would cost O(p² · diameter)
+// memory, so construction falls back to computing routes on demand
+// (Route then allocates; the detailed fabric never runs that large).
+
+// routeTableMaxP bounds precomputation: tables exist only for p values
+// up to this limit (the paper sweeps p ≤ 64; 128 leaves headroom for
+// scaling studies while keeping the largest table around a megabyte).
+const routeTableMaxP = 128
+
+// routeTable holds every src→dst route of a topology, concatenated into
+// one arena slice with (p·p+1) offsets.
+type routeTable struct {
+	p     int
+	off   []int32
+	arena []int
+}
+
+// appendRouter is the compute form of a topology's routing function:
+// append the links of the src→dst route to buf and return the extended
+// slice.  Each topology keeps its original routing logic in this form;
+// the table is built from it and Route serves from the table.
+type appendRouter func(buf []int, src, dst int) []int
+
+// buildRouteTable materializes all p·(p-1) routes of a topology, or
+// returns nil when p exceeds routeTableMaxP.
+func buildRouteTable(p int, route appendRouter) *routeTable {
+	if p > routeTableMaxP {
+		return nil
+	}
+	rt := &routeTable{p: p, off: make([]int32, p*p+1)}
+	for src := 0; src < p; src++ {
+		for dst := 0; dst < p; dst++ {
+			if src != dst {
+				rt.arena = route(rt.arena, src, dst)
+			}
+			rt.off[src*p+dst+1] = int32(len(rt.arena))
+		}
+	}
+	return rt
+}
+
+// route returns the precomputed src→dst route.  The slice aliases the
+// shared arena with its capacity clipped, so an append by the caller
+// copies instead of clobbering the neighbouring route; callers must not
+// modify elements in place.
+func (rt *routeTable) route(src, dst int) []int {
+	i := src*rt.p + dst
+	lo, hi := rt.off[i], rt.off[i+1]
+	return rt.arena[lo:hi:hi]
+}

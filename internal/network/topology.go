@@ -28,7 +28,9 @@ type Topology interface {
 	// ids may be unused on irregular topologies).
 	NumLinks() int
 	// Route returns the directed links a message from src to dst
-	// traverses, in order.  src must differ from dst.
+	// traverses, in order.  src must differ from dst.  The returned
+	// slice may alias a precomputed route table shared by all callers;
+	// it must not be modified in place.
 	Route(src, dst int) []int
 	// LinkEnds returns the endpoints of directed link id.
 	LinkEnds(id int) (from, to int)
@@ -57,18 +59,33 @@ func checkP(p int) {
 
 // Full is the fully connected network: two serial links (one per
 // direction) between every pair of nodes.
-type Full struct{ p int }
+type Full struct {
+	p  int
+	rt *routeTable
+}
 
 // NewFull returns a fully connected network over p nodes.
-func NewFull(p int) *Full { checkP(p); return &Full{p: p} }
+func NewFull(p int) *Full {
+	checkP(p)
+	f := &Full{p: p}
+	f.rt = buildRouteTable(p, f.appendRoute)
+	return f
+}
 
 func (f *Full) Name() string  { return "full" }
 func (f *Full) P() int        { return f.p }
 func (f *Full) NumLinks() int { return f.p * f.p }
 
+func (f *Full) appendRoute(buf []int, src, dst int) []int {
+	return append(buf, src*f.p+dst)
+}
+
 func (f *Full) Route(src, dst int) []int {
 	f.check(src, dst)
-	return []int{src*f.p + dst}
+	if f.rt != nil {
+		return f.rt.route(src, dst)
+	}
+	return f.appendRoute(nil, src, dst)
 }
 
 func (f *Full) LinkEnds(id int) (from, to int) { return id / f.p, id % f.p }
@@ -95,12 +112,15 @@ func (f *Full) check(src, dst int) {
 type Cube struct {
 	p    int
 	dims int
+	rt   *routeTable
 }
 
 // NewCube returns a binary hypercube over p = 2^k nodes.
 func NewCube(p int) *Cube {
 	checkP(p)
-	return &Cube{p: p, dims: bits.TrailingZeros(uint(p))}
+	c := &Cube{p: p, dims: bits.TrailingZeros(uint(p))}
+	c.rt = buildRouteTable(p, c.appendRoute)
+	return c
 }
 
 func (c *Cube) Name() string  { return "cube" }
@@ -108,19 +128,27 @@ func (c *Cube) P() int        { return c.p }
 func (c *Cube) Dims() int     { return c.dims }
 func (c *Cube) NumLinks() int { return c.p * c.dims }
 
-// Route applies e-cube routing: correct differing address bits from least
-// to most significant.  Link node*dims+d runs from node to node^(1<<d).
-func (c *Cube) Route(src, dst int) []int {
-	c.check(src, dst)
-	route := make([]int, 0, c.dims)
+// appendRoute applies e-cube routing: correct differing address bits
+// from least to most significant.  Link node*dims+d runs from node to
+// node^(1<<d).
+func (c *Cube) appendRoute(buf []int, src, dst int) []int {
 	cur := src
 	for d := 0; d < c.dims; d++ {
 		if (cur^dst)&(1<<d) != 0 {
-			route = append(route, cur*c.dims+d)
+			buf = append(buf, cur*c.dims+d)
 			cur ^= 1 << d
 		}
 	}
-	return route
+	return buf
+}
+
+// Route returns the e-cube route from the precomputed table.
+func (c *Cube) Route(src, dst int) []int {
+	c.check(src, dst)
+	if c.rt != nil {
+		return c.rt.route(src, dst)
+	}
+	return c.appendRoute(nil, src, dst)
 }
 
 func (c *Cube) LinkEnds(id int) (from, to int) {
@@ -159,6 +187,7 @@ func (c *Cube) check(src, dst int) {
 // (along the row to the destination column, then along the column).
 type Mesh struct {
 	p, rows, cols int
+	rt            *routeTable
 }
 
 // Directions for mesh link ids: link id = node*4 + direction.
@@ -182,7 +211,9 @@ func NewMesh(p int) *Mesh {
 		rows = 1 << ((k - 1) / 2)
 		cols = 2 * rows
 	}
-	return &Mesh{p: p, rows: rows, cols: cols}
+	m := &Mesh{p: p, rows: rows, cols: cols}
+	m.rt = buildRouteTable(p, m.appendRoute)
+	return m
 }
 
 func (m *Mesh) Name() string  { return "mesh" }
@@ -194,31 +225,38 @@ func (m *Mesh) NumLinks() int { return m.p * 4 }
 func (m *Mesh) node(r, c int) int       { return r*m.cols + c }
 func (m *Mesh) coords(n int) (r, c int) { return n / m.cols, n % m.cols }
 
-// Route is X-first dimension-ordered: travel east/west to the target
-// column, then north/south to the target row.
-func (m *Mesh) Route(src, dst int) []int {
-	m.check(src, dst)
+// appendRoute is X-first dimension-ordered: travel east/west to the
+// target column, then north/south to the target row.
+func (m *Mesh) appendRoute(buf []int, src, dst int) []int {
 	sr, sc := m.coords(src)
 	dr, dc := m.coords(dst)
-	var route []int
 	r, c := sr, sc
 	for c < dc {
-		route = append(route, m.node(r, c)*4+east)
+		buf = append(buf, m.node(r, c)*4+east)
 		c++
 	}
 	for c > dc {
-		route = append(route, m.node(r, c)*4+west)
+		buf = append(buf, m.node(r, c)*4+west)
 		c--
 	}
 	for r < dr {
-		route = append(route, m.node(r, c)*4+south)
+		buf = append(buf, m.node(r, c)*4+south)
 		r++
 	}
 	for r > dr {
-		route = append(route, m.node(r, c)*4+north)
+		buf = append(buf, m.node(r, c)*4+north)
 		r--
 	}
-	return route
+	return buf
+}
+
+// Route returns the X-first route from the precomputed table.
+func (m *Mesh) Route(src, dst int) []int {
+	m.check(src, dst)
+	if m.rt != nil {
+		return m.rt.route(src, dst)
+	}
+	return m.appendRoute(nil, src, dst)
 }
 
 func (m *Mesh) LinkEnds(id int) (from, to int) {

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// TestEventDispatchAllocBudget pins the steady-state allocation cost of
+// the kernel: at most one allocation per dispatched event, amortized
+// over a long run.  The concrete-typed heap should make the real number
+// near zero (occasional slice growth only); the budget of 1 leaves room
+// for the runtime without letting interface boxing or per-event
+// closures creep back in.
+func TestEventDispatchAllocBudget(t *testing.T) {
+	const holds = 2000
+	run := func() uint64 {
+		e := NewEngine()
+		for i := 0; i < 4; i++ {
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < holds; j++ {
+					p.Hold(1)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Events
+	}
+	run() // warm up the runtime (goroutine stacks, timer state)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	events := run()
+	runtime.ReadMemStats(&after)
+
+	perEvent := float64(after.Mallocs-before.Mallocs) / float64(events)
+	if perEvent > 1 {
+		t.Errorf("dispatch allocates %.2f objects/event over %d events; budget is 1",
+			perEvent, events)
+	}
+}
+
+// TestQueueRetainsNoProcsAfterRun guards the memory-pin fix: after Run
+// drains, neither the heap's backing array nor the same-timestamp FIFO
+// may still reference a *Proc.  A retained reference would pin the
+// process (and transitively its closure and goroutine allocations) for
+// the lifetime of the engine — a real leak for long-lived services that
+// keep engines around after inspecting results.
+func TestQueueRetainsNoProcsAfterRun(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 64; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for j := 0; j < 50; j++ {
+				p.Hold(Time(1 + (i+j)%7))
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	full := e.heap.s[:cap(e.heap.s)]
+	for i := range full {
+		if full[i].p != nil {
+			t.Errorf("heap backing slot %d still references proc %q after Run",
+				i, full[i].p.Name)
+		}
+	}
+	nowFull := e.nowQ[:cap(e.nowQ)]
+	for i := range nowFull {
+		if nowFull[i].p != nil {
+			t.Errorf("nowQ backing slot %d still references proc %q after Run",
+				i, nowFull[i].p.Name)
+		}
+	}
+}
+
+// TestHandoffStress exercises the direct process-to-process dispatch
+// handoff under churn: many engines, wake storms through queues, and
+// same-timestamp scheduling.  Run it under -race to check the run-token
+// discipline (engine state is only ever touched by the goroutine that
+// holds the token).
+func TestHandoffStress(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		e := NewEngine()
+		var q Queue
+		const workers = 16
+		for i := 0; i < workers; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+				for j := 0; j < 30; j++ {
+					switch (i + j) % 3 {
+					case 0:
+						p.Hold(Time(1 + j%5))
+					case 1:
+						q.Wait(p)
+					default:
+						p.Defer(2)
+						p.Yield()
+						for q.WakeOne() {
+						}
+					}
+				}
+				for q.WakeOne() {
+				}
+			})
+		}
+		// A closer that periodically drains the queue until every worker
+		// has terminated, so no round ends in a (deliberate) deadlock.
+		e.Spawn("closer", func(p *Proc) {
+			for e.nLive > 1 {
+				p.Hold(1000)
+				q.WakeAll()
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}

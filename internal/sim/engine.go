@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,27 +10,68 @@ import (
 type event struct {
 	at  Time
 	seq uint64 // creation order; breaks timestamp ties deterministically
+	gen uint64 // p.gen at schedule time; a mismatch at pop marks it stale
 	p   *Proc
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// eventHeap is a concrete-typed min-heap of events ordered by (at, seq).
+// Compared with container/heap it avoids the interface{} boxing
+// allocation on every push and pop, and it clears popped slots so a
+// drained queue does not pin *Proc values (and their goroutine stacks)
+// in memory.
+type eventHeap struct {
+	s []event
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) len() int { return len(h.s) }
+
+// less orders events by (at, seq): earliest first, FIFO within a tick.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(ev event) {
+	h.s = append(h.s, ev)
+	s := h.s
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(&s[i], &s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := h.s
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // clear the vacated slot: no stale *Proc reference
+	h.s = s[:n]
+	// Sift the relocated element down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && less(&s[r], &s[l]) {
+			m = r
+		}
+		if !less(&s[m], &s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 // Engine is a deterministic discrete-event simulation kernel.  Create one
@@ -41,12 +81,23 @@ func (h *eventHeap) Pop() interface{} {
 // before Run or from within simulated processes (which the engine runs one
 // at a time).
 type Engine struct {
-	now    Time
-	events eventHeap
-	seq    uint64
+	now  Time
+	heap eventHeap
+	seq  uint64
 
-	yield   chan struct{} // running proc hands control back on this
-	nLive   int           // spawned but not yet terminated processes
+	// nowQ is the same-timestamp fast path: events scheduled at the
+	// current simulated time bypass the heap entirely and are dispatched
+	// FIFO, which is exactly their (at, seq) order — every event already
+	// in the heap with the same timestamp predates them in seq (it was
+	// pushed before the clock advanced here), and the heap can gain no
+	// new events at the current time while nowQ drains.  Wake storms
+	// (barrier releases, lock convoys) and process starts all hit this
+	// path.
+	nowQ    []event
+	nowHead int
+
+	done    chan error // buffered(1): run result, signalled once
+	nLive   int        // spawned but not yet terminated processes
 	procs   []*Proc
 	running *Proc
 	failure error // first process panic, converted to a run error
@@ -61,10 +112,10 @@ type Engine struct {
 	// simulations (livelocked spin loops, mis-sized workloads).
 	MaxTime Time
 
-	// Tick, when non-nil, is invoked from Run every time the simulated
-	// clock is about to advance to a strictly later value, with the new
-	// time.  It runs before the advancing event dispatches, so all
-	// state mutations recorded so far happened at or before the
+	// Tick, when non-nil, is invoked from the dispatch path every time
+	// the simulated clock is about to advance to a strictly later value,
+	// with the new time.  It runs before the advancing event dispatches,
+	// so all state mutations recorded so far happened at or before the
 	// previous clock value — the hook telemetry probes use to close
 	// sampling epochs.  Tick must not call back into the engine.
 	Tick func(now Time)
@@ -72,7 +123,7 @@ type Engine struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan struct{})}
+	return &Engine{done: make(chan error, 1)}
 }
 
 // Now reports the current simulated time.
@@ -81,7 +132,10 @@ func (e *Engine) Now() Time { return e.now }
 // Procs returns the processes spawned on the engine, in spawn order.
 func (e *Engine) Procs() []*Proc { return e.procs }
 
-// schedule enqueues a resumption of p at time at (>= now).
+// schedule enqueues a resumption of p at time at (>= now).  Bumping
+// p.gen invalidates any earlier pending event for p at push time: a
+// stale wakeup is recognized by its generation mismatch when popped, so
+// the queue never needs scanning.
 func (e *Engine) schedule(at Time, p *Proc) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %v < now %v", at, e.now))
@@ -90,7 +144,93 @@ func (e *Engine) schedule(at Time, p *Proc) {
 		p.sched = at
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, p: p})
+	p.gen++
+	ev := event{at: at, seq: e.seq, gen: p.gen, p: p}
+	if at == e.now {
+		e.nowQ = append(e.nowQ, ev)
+	} else {
+		e.heap.push(ev)
+	}
+}
+
+// next pops the next event in (at, seq) order, merging the heap with the
+// same-timestamp FIFO.  Heap entries at the current time always predate
+// nowQ entries (see the nowQ field comment), so they drain first.
+func (e *Engine) next() (event, bool) {
+	if len(e.heap.s) > 0 && e.heap.s[0].at == e.now {
+		return e.heap.pop(), true
+	}
+	if e.nowHead < len(e.nowQ) {
+		ev := e.nowQ[e.nowHead]
+		e.nowQ[e.nowHead] = event{} // no stale *Proc reference
+		e.nowHead++
+		if e.nowHead == len(e.nowQ) {
+			e.nowQ = e.nowQ[:0]
+			e.nowHead = 0
+		}
+		return ev, true
+	}
+	if len(e.heap.s) > 0 {
+		return e.heap.pop(), true
+	}
+	return event{}, false
+}
+
+// advance dispatches the next runnable event.  It is called by the
+// goroutine that currently holds the run token — a process that has just
+// scheduled its own resumption, parked, or terminated (or Run itself to
+// prime the first dispatch) — so engine state is only ever touched by
+// one goroutine at a time.  It returns true when the dispatched event
+// belongs to cur, in which case control simply stays on the calling
+// goroutine with no channel handoff at all; otherwise it either resumes
+// the target process (one channel send) or ends the run.
+func (e *Engine) advance(cur *Proc) bool {
+	for {
+		ev, ok := e.next()
+		if !ok {
+			e.endRun(e.runResult())
+			return false
+		}
+		if ev.gen != ev.p.gen {
+			continue // stale wakeup, superseded at push time
+		}
+		if ev.at > e.now {
+			if e.Tick != nil {
+				e.Tick(ev.at)
+			}
+			e.now = ev.at
+			if e.MaxTime > 0 && e.now > e.MaxTime {
+				e.endRun(&TimeLimitError{Limit: e.MaxTime, At: e.now})
+				return false
+			}
+		}
+		e.Events++
+		p := ev.p
+		p.parked = false
+		e.running = p
+		if p == cur {
+			return true // same-process dispatch: no handoff
+		}
+		p.resume <- struct{}{}
+		return false
+	}
+}
+
+// endRun publishes the run result.  The done channel is buffered so the
+// publisher (possibly Run's own goroutine, when no process was ever
+// spawned) never blocks.
+func (e *Engine) endRun(err error) {
+	e.running = nil
+	e.done <- err
+}
+
+// runResult classifies a drained event queue: success if every process
+// terminated, deadlock otherwise.
+func (e *Engine) runResult() error {
+	if e.nLive > 0 {
+		return e.deadlock()
+	}
+	return nil
 }
 
 // Spawn creates a simulated process executing fn and schedules it to start
@@ -112,8 +252,13 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 				e.failure = fmt.Errorf("sim: process %q panicked at %v: %v", p.Name, e.now, r)
 			}
 			p.terminated = true
+			p.gen++ // any still-queued wakeup for p is now stale
 			e.nLive--
-			e.yield <- struct{}{} // hand control back; goroutine exits
+			if e.failure != nil {
+				e.endRun(e.failure)
+				return
+			}
+			e.advance(p) // pass the run token on; goroutine exits
 		}()
 		fn(p)
 	}()
@@ -124,33 +269,16 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 // Run dispatches events until none remain.  It returns a *DeadlockError
 // if processes are still alive (parked forever) when the event queue
 // drains, and nil when every process has terminated.
+//
+// Run itself only primes the first dispatch and waits for the result:
+// after the first handoff, dispatching happens on the process goroutines
+// themselves — the goroutine that blocks or terminates picks the next
+// event and resumes its owner directly, so each engine event costs at
+// most one channel handoff (zero when a process's next event is its
+// own).
 func (e *Engine) Run() error {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(event)
-		if ev.p.terminated {
-			continue // stale wakeup for a finished process
-		}
-		if e.Tick != nil && ev.at > e.now {
-			e.Tick(ev.at)
-		}
-		e.now = ev.at
-		if e.MaxTime > 0 && e.now > e.MaxTime {
-			return &TimeLimitError{Limit: e.MaxTime, At: e.now}
-		}
-		e.Events++
-		e.running = ev.p
-		ev.p.parked = false
-		ev.p.resume <- struct{}{}
-		<-e.yield
-		e.running = nil
-		if e.failure != nil {
-			return e.failure
-		}
-	}
-	if e.nLive > 0 {
-		return e.deadlock()
-	}
-	return nil
+	e.advance(nil)
+	return <-e.done
 }
 
 func (e *Engine) deadlock() *DeadlockError {

@@ -21,8 +21,9 @@ type Proc struct {
 	resume     chan struct{}
 	parked     bool
 	terminated bool
-	lag        Time // local clock advance not yet materialized
-	sched      Time // latest scheduled resumption (see Horizon)
+	gen        uint64 // generation counter; events with an older gen are stale
+	lag        Time   // local clock advance not yet materialized
+	sched      Time   // latest scheduled resumption (see Horizon)
 }
 
 // Engine returns the engine this process runs on.
@@ -45,9 +46,13 @@ func (p *Proc) Horizon() Time {
 	return p.sched
 }
 
-// block yields control to the engine and waits to be resumed.
+// block dispatches the next event and waits to be resumed.  When the
+// next event belongs to p itself, advance returns with the run token
+// still here and block returns immediately — no goroutine handoff.
 func (p *Proc) block() {
-	p.eng.yield <- struct{}{}
+	if p.eng.advance(p) {
+		return
+	}
 	<-p.resume
 }
 

@@ -1,0 +1,39 @@
+package spasm
+
+import (
+	"encoding/json"
+	"testing"
+
+	"spasm/internal/report"
+)
+
+// TestTinyStress re-runs a Tiny workload many times in one process,
+// checking that every run produces identical results.  Its real value is
+// under `go test -race`: the kernel's direct process-to-process dispatch
+// handoff (a goroutine that blocks pops the next event and resumes its
+// owner) is exactly the kind of code where a missed happens-before edge
+// would surface as a data race on engine state, and twenty full
+// simulations give the detector plenty of handoffs to watch.
+func TestTinyStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	var first []byte
+	for i := 0; i < 20; i++ {
+		res, err := Run("fft", Tiny, 1, Config{Kind: Target, Topology: "mesh", P: 8})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		doc, err := json.Marshal(report.RunJSON(res))
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if i == 0 {
+			first = doc
+			continue
+		}
+		if string(doc) != string(first) {
+			t.Fatalf("run %d produced different results than run 0", i)
+		}
+	}
+}
