@@ -1,0 +1,74 @@
+package spasm
+
+import (
+	"spasm/internal/app"
+	"spasm/internal/apps"
+	"spasm/internal/exp"
+	"spasm/internal/runpool"
+)
+
+// Batched sweeps and pooled run contexts.
+type (
+	// BatchPoint is one sweep point for RunMany/Session.RunBatch: an
+	// (application, topology, machine, P) combination at the batch's
+	// scale and seed.
+	BatchPoint = exp.BatchPoint
+	// RunPool is a bounded freelist of reusable run contexts keyed by
+	// machine configuration; runs on a pool skip machine construction
+	// after the first run of each configuration while producing
+	// bit-identical results.  Safe for concurrent use.
+	RunPool = runpool.Pool
+	// PoolStats is a snapshot of a pool's hit/miss/live counters.
+	PoolStats = runpool.Stats
+)
+
+// NewRunPool returns a run-context pool retaining at most maxIdle idle
+// contexts (a sensible default when maxIdle <= 0).
+func NewRunPool(maxIdle int) *RunPool { return runpool.New(maxIdle) }
+
+// RunMany executes a batch of sweep points on a bounded worker pool
+// (Options.Parallel workers) with per-worker context reuse, returning
+// statistics in input order.  Duplicate points are simulated once, and
+// results are bit-identical to individual Run calls regardless of worker
+// count.  It is the one-shot form of Session.RunBatch.
+func RunMany(opt Options, points []BatchPoint) ([]*RunStats, error) {
+	return exp.RunMany(opt, points)
+}
+
+// RunOn is Run on a pooled context: the simulation engine, address
+// space, and machine are drawn from pool and reset in place instead of
+// constructed, so repeated runs of one configuration amortize setup.
+// The returned Result's Stats and Phases are freshly allocated and safe
+// to keep; its Machine and Space reference pooled state and are only
+// readable until the pool reuses the context.  A nil pool behaves like
+// Run.
+func RunOn(appName string, scale Scale, seed int64, cfg Config, pool *RunPool) (*Result, error) {
+	prog, err := apps.New(appName, scale, seed)
+	if err != nil {
+		var extErr error
+		prog, extErr = apps.NewExtended(appName, scale, seed)
+		if extErr != nil {
+			return nil, err
+		}
+	}
+	return app.RunPooled(prog, cfg, pool)
+}
+
+// RunSpecOn is RunSpec on a pooled context, with RunOn's reuse and
+// lifetime semantics.  It is the path the spasmd workers use, so the
+// service amortizes construction across the jobs it executes.
+func RunSpecOn(spec Spec, pool *RunPool) (*Result, error) {
+	spec = spec.Canonical()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	prog, err := apps.New(spec.App, spec.Scale, spec.Seed)
+	if err != nil {
+		var extErr error
+		prog, extErr = apps.NewExtended(spec.App, spec.Scale, spec.Seed)
+		if extErr != nil {
+			return nil, err
+		}
+	}
+	return app.RunPooled(prog, spec.Config(), pool)
+}

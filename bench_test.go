@@ -13,7 +13,9 @@ package spasm
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 )
 
 // benchProcs is the sweep used by the figure benchmarks.
@@ -86,6 +88,66 @@ func BenchmarkSimulationCost(b *testing.B) {
 			b.ReportMetric(float64(events), "sim_events")
 		})
 	}
+}
+
+// BenchmarkSweepThroughput measures end-to-end sweep throughput on a
+// 30-point Tiny sweep (every application x the three networked machines
+// x p in {4, 8} on the full network), two ways:
+//
+//   - fresh:  the status quo before the batch scheduler — sequential
+//     runs, every run constructing its engine, address space, and
+//     machine from scratch.
+//   - pooled: the same points through RunMany — the batch scheduler at
+//     Parallel=GOMAXPROCS with per-worker context pools.
+//
+// Compare the runs/sec metric between the two; allocs/run shows the
+// construction cost the pool amortizes away.  Each iteration uses a
+// fresh session, so nothing is ever served from a session cache — every
+// point is simulated every time.
+func BenchmarkSweepThroughput(b *testing.B) {
+	var points []BatchPoint
+	for _, app := range Apps() {
+		for _, kind := range []Kind{LogP, CLogP, Target} {
+			for _, p := range benchProcs {
+				points = append(points, BatchPoint{App: app, Topology: "full", Kind: kind, P: p})
+			}
+		}
+	}
+	measure := func(b *testing.B, sweep func() error) {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if err := sweep(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		b.StopTimer()
+		runtime.ReadMemStats(&after)
+		runs := float64(b.N * len(points))
+		b.ReportMetric(runs/elapsed.Seconds(), "runs/sec")
+		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/runs, "allocs/run")
+	}
+	b.Run("fresh", func(b *testing.B) {
+		measure(b, func() error {
+			for _, pt := range points {
+				_, err := Run(pt.App, Tiny, 1, Config{Kind: pt.Kind, Topology: pt.Topology, P: pt.P})
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	b.Run("pooled", func(b *testing.B) {
+		measure(b, func() error {
+			_, err := RunMany(Options{Scale: Tiny, Parallel: runtime.GOMAXPROCS(0)}, points)
+			return err
+		})
+	})
 }
 
 // BenchmarkGapAblation reproduces the section-7 experiment: contention

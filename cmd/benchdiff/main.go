@@ -9,8 +9,9 @@
 // Usage:
 //
 //	go run ./cmd/benchdiff -record          # write BENCH_baseline.json
-//	go run ./cmd/benchdiff                  # compare, fail on >50% ns/op regression
-//	go run ./cmd/benchdiff -threshold 2.0   # looser gate
+//	go run ./cmd/benchdiff                  # compare, fail on >50% ns/op or allocs/op regression
+//	go run ./cmd/benchdiff -threshold 2.0   # looser time gate
+//	go run ./cmd/benchdiff -alloc-threshold 0   # disable the allocation gate
 //
 // The gate is deliberately loose (shared CI runners are noisy); its job is
 // to catch the "accidentally quadratic" class of regression, not 5% drift.
@@ -30,10 +31,10 @@ import (
 
 // Result is one benchmark's measurement.
 type Result struct {
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
 // Baseline is the committed benchmark record.
@@ -58,6 +59,7 @@ func main() {
 		benchtime    = flag.String("benchtime", "10x", "pinned -benchtime (use Nx forms for comparability)")
 		pkg          = flag.String("pkg", ".", "package to benchmark")
 		threshold    = flag.Float64("threshold", 1.5, "fail when current ns/op exceeds baseline * threshold")
+		allocGate    = flag.Float64("alloc-threshold", 1.5, "fail when current allocs/op exceeds baseline * alloc-threshold (0 disables)")
 		note         = flag.String("note", "", "note stored with a recorded baseline")
 	)
 	flag.Parse()
@@ -109,11 +111,24 @@ func main() {
 			verdict = "REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-40s %12.0f ns/op  baseline %12.0f  ratio %.2fx  %s\n",
-			name, cur.NsPerOp, b.NsPerOp, ratio, verdict)
+		// Allocation counts are near-deterministic, so the same
+		// multiplicative gate catches accidental per-event allocations
+		// that noisy ns/op would hide on shared runners.
+		allocNote := ""
+		if *allocGate > 0 && b.AllocsPerOp > 0 && cur.AllocsPerOp > 0 {
+			aratio := float64(cur.AllocsPerOp) / float64(b.AllocsPerOp)
+			allocNote = fmt.Sprintf("  allocs %.2fx", aratio)
+			if aratio > *allocGate {
+				verdict = "ALLOC REGRESSION"
+				failed = true
+			}
+		}
+		fmt.Printf("%-40s %12.0f ns/op  baseline %12.0f  ratio %.2fx%s  %s\n",
+			name, cur.NsPerOp, b.NsPerOp, ratio, allocNote, verdict)
 	}
 	if failed {
-		fmt.Printf("FAIL: ns/op regressed more than %.0f%% vs %s\n", (*threshold-1)*100, *baselinePath)
+		fmt.Printf("FAIL: regressed past the gate (ns/op > %.2fx or allocs/op > %.2fx) vs %s\n",
+			*threshold, *allocGate, *baselinePath)
 		os.Exit(1)
 	}
 	fmt.Println("PASS: no benchmark regressed past the gate")

@@ -10,9 +10,12 @@
 //	experiments -jobs 8          # override the simulation parallelism
 //
 // The underlying simulations run -jobs at a time (default: GOMAXPROCS,
-// i.e. every host core).  Each simulation is internally single-threaded
-// and deterministic, so the job count changes wall-clock time only —
-// results are identical regardless of -jobs.
+// i.e. every host core) on the batch scheduler, drawing reusable run
+// contexts from the session's pool so a sweep pays machine construction
+// once per configuration instead of once per run.  Each simulation is
+// internally single-threaded and deterministic, so neither the job count
+// nor context reuse changes a single simulated number — results are
+// identical regardless of -jobs.
 //
 //	experiments -accuracy -format ""        # abstraction-accuracy dashboard
 //	experiments -format csv -out results/   # CSV files per figure

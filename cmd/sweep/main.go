@@ -13,12 +13,24 @@
 //	sweep -study placement  # blocked vs interleaved data placement
 //	sweep -study mg         # out-of-suite validation (multigrid workload)
 //	sweep -study all
+//
+// There is also a throughput utility outside the paper studies:
+//
+//	sweep -study batch                                  # apps x machines x -procs on the batch scheduler
+//	sweep -study batch -points fft:mesh:target:8,...    # explicit points
+//	sweep -study batch -parallel 8                      # worker count
+//
+// The batch study runs its points on spasm.RunMany — the bounded worker
+// pool with pooled run contexts — and prints one row per point in input
+// order.  Results are identical to running each point alone.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"spasm"
 )
@@ -32,6 +44,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "synthetic-input seed")
 		p        = flag.Int("p", 16, "processors for protocol/cache studies")
 		procsStr = flag.String("procs", "2,4,8,16,32", "sweep for adaptive/leff studies")
+		points   = flag.String("points", "", "batch study points as app:topo:machine:p, comma-separated (default: apps x machines x -procs on -topo)")
+		parallel = flag.Int("parallel", 4, "concurrent simulations for the batch study")
 	)
 	flag.Parse()
 
@@ -203,6 +217,26 @@ func main() {
 		fmt.Println()
 	}
 
+	if run["batch"] {
+		pts, err := parsePoints(*points, pick(*topo, "full"), procs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("batch sweep — %d points, %d workers:\n", len(pts), *parallel)
+		runs, err := spasm.RunMany(spasm.Options{Scale: sc, Seed: *seed, Parallel: *parallel}, pts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-10s %8s %8s %6s %14s %10s %12s\n",
+			"app", "topo", "machine", "p", "exec_us", "messages", "events")
+		for i, r := range runs {
+			pt := pts[i]
+			fmt.Printf("%-10s %8s %8v %6d %14.1f %10d %12d\n",
+				pt.App, pt.Topology, pt.Kind, pt.P, r.Total.Micros(), r.Messages(), r.SimEvents)
+		}
+		fmt.Println()
+	}
+
 	if run["leff"] {
 		appOr := pick(*appName, "fft")
 		topoOr := pick(*topo, "full")
@@ -218,6 +252,40 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// parsePoints turns "app:topo:machine:p,..." into batch points, or, when
+// spec is empty, expands the default cross product of the application
+// suite, the three networked machines, and the -procs sweep on topo.
+func parsePoints(spec, topo string, procs []int) ([]spasm.BatchPoint, error) {
+	if spec == "" {
+		var pts []spasm.BatchPoint
+		for _, app := range spasm.Apps() {
+			for _, kind := range []spasm.Kind{spasm.LogP, spasm.CLogP, spasm.Target} {
+				for _, p := range procs {
+					pts = append(pts, spasm.BatchPoint{App: app, Topology: topo, Kind: kind, P: p})
+				}
+			}
+		}
+		return pts, nil
+	}
+	var pts []spasm.BatchPoint
+	for _, field := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(field), ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("bad point %q (want app:topo:machine:p)", field)
+		}
+		kind, err := spasm.ParseKind(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("point %q: %w", field, err)
+		}
+		p, err := strconv.Atoi(parts[3])
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("point %q: bad processor count %q", field, parts[3])
+		}
+		pts = append(pts, spasm.BatchPoint{App: parts[0], Topology: parts[1], Kind: kind, P: p})
+	}
+	return pts, nil
 }
 
 func pick(v, def string) string {

@@ -43,6 +43,57 @@ func goldenRunDocs(t *testing.T) []report.RunDoc {
 	return docs
 }
 
+// TestPooledRunsBitIdentical is the pooling determinism lock: every
+// combination of the Tiny suite across the three networked machines and
+// all five topologies must produce byte-identical RunDoc JSON whether it
+// runs on fresh state or on one shared, repeatedly reused context pool.
+// One pool serves ALL combinations, so each context is rebound across
+// different applications — i.e. across different memory layouts — which
+// is exactly the reuse the reset invariants (docs/INTERNALS.md) must
+// survive.
+func TestPooledRunsBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Tiny suite x 5 topologies, twice")
+	}
+	pool := NewRunPool(0)
+	kinds := []Kind{LogP, CLogP, Target}
+	topos := []string{"full", "cube", "mesh", "ring", "torus"}
+	// Two passes over the whole corpus: the second pass reuses contexts
+	// warmed by the first, so every single run of it exercises reset.
+	for pass := 0; pass < 2; pass++ {
+		for _, app := range Apps() {
+			for _, kind := range kinds {
+				for _, topo := range topos {
+					cfg := Config{Kind: kind, Topology: topo, P: 8}
+					fresh, err := Run(app, Tiny, 1, cfg)
+					if err != nil {
+						t.Fatalf("fresh %s on %v/%s: %v", app, kind, topo, err)
+					}
+					pooled, err := RunOn(app, Tiny, 1, cfg, pool)
+					if err != nil {
+						t.Fatalf("pooled %s on %v/%s: %v", app, kind, topo, err)
+					}
+					want, err := json.Marshal(report.RunJSON(fresh))
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := json.Marshal(report.RunJSON(pooled))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("pass %d: %s on %v/%s: pooled RunDoc diverged from fresh\nfresh:  %s\npooled: %s",
+							pass, app, kind, topo, want, got)
+					}
+				}
+			}
+		}
+	}
+	if st := pool.Stats(); st.Hits == 0 {
+		t.Fatalf("pool reported no reuse (stats %+v); the test exercised nothing", st)
+	}
+}
+
 func TestRunDocsBitIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full Tiny suite")

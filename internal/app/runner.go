@@ -6,6 +6,7 @@ import (
 
 	"spasm/internal/machine"
 	"spasm/internal/mem"
+	"spasm/internal/runpool"
 	"spasm/internal/sim"
 	"spasm/internal/stats"
 )
@@ -97,6 +98,38 @@ func RunInstrumented(prog Program, cfg machine.Config, wrap func(machine.Machine
 	}
 	space := mem.NewSpace(cfg.P, blockBytes)
 	eng := sim.NewEngine()
+	bind := func() (machine.Machine, error) { return machine.New(cfg, space) }
+	return runOn(prog, cfg, space, eng, bind, wrap, inst)
+}
+
+// RunPooled is Run on a pooled context: the engine, address space, and
+// machine come from pool (reset in place) instead of being constructed,
+// so a sweep pays machine construction once per configuration.  Results
+// are bit-for-bit identical to Run's.  The returned Result's Machine and
+// Space reference pooled state: they stay readable only until the pool
+// hands the same context to another run, while Result.Stats and
+// Result.Phases are freshly allocated and safe to keep.  A nil pool
+// falls back to Run.
+func RunPooled(prog Program, cfg machine.Config, pool *runpool.Pool) (*Result, error) {
+	if pool == nil {
+		return Run(prog, cfg)
+	}
+	ctx, err := pool.Get(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Put(ctx)
+	return runOn(prog, cfg, ctx.Space, ctx.Eng, ctx.Bind, nil, nil)
+}
+
+// runOn is the shared run core: set up the program in space, bind the
+// machine (construction for fresh runs, an in-place reset for pooled
+// ones — deferred until after Setup because the coherence directory is
+// sized from the space footprint), spawn one process per node, and drive
+// the event loop to completion.
+func runOn(prog Program, cfg machine.Config, space *mem.Space, eng *sim.Engine,
+	bind func() (machine.Machine, error),
+	wrap func(machine.Machine) machine.Machine, inst Instrument) (*Result, error) {
 	run := stats.NewRun(cfg.P)
 	ctx := &Ctx{P: cfg.P, Space: space, Run: run, Eng: eng, Phases: newPhaseProfile()}
 
@@ -104,7 +137,7 @@ func RunInstrumented(prog Program, cfg machine.Config, wrap func(machine.Machine
 		return nil, err
 	}
 
-	m, err := machine.New(cfg, space)
+	m, err := bind()
 	if err != nil {
 		return nil, err
 	}

@@ -119,6 +119,23 @@ func New(cfg Config) *Cache {
 	}
 }
 
+// Reset returns the cache to its post-New state in place: every line
+// Invalid with a zero tag and LRU stamp, the LRU clock and all statistics
+// at zero.  The flat line array — the bulk of a machine's construction
+// cost — is kept and cleared rather than reallocated, and a cleared line
+// is indistinguishable from a freshly made one, so a reset cache replays
+// a reference stream with the exact hit/miss/eviction sequence of a
+// fresh cache.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.clock = 0
+	c.Hits = 0
+	c.Misses = 0
+	c.Evictions = 0
+}
+
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
 

@@ -208,6 +208,52 @@ func NewEngine(space *mem.Space, cacheCfg cache.Config, costs Costs, tr Transpor
 	return e
 }
 
+// Reset rebinds the engine to space — typically the same *mem.Space
+// after its own Reset and a fresh application Setup — and returns all
+// coherence state to its post-NewEngine condition without reallocating
+// the chunked directory.  Every already-allocated chunk is re-stamped
+// (owner -1, no sharers, home -1, zeroed block lock) rather than freed:
+// a re-stamped entry is indistinguishable from a first-touch one, and the
+// home memo must be cleared because the new run may lay out memory
+// differently.  The chunk index is re-sized to cover the new footprint;
+// chunks beyond it are kept (harmlessly — they are only reachable via
+// block ids the new layout never produces, and they are already clean).
+//
+// The transport, costs, protocol, and cache geometry are construction
+// parameters of the pooled context and are deliberately left alone.
+func (e *Engine) Reset(space *mem.Space) {
+	if space.P() != len(e.caches) {
+		panic(fmt.Sprintf("coherence: Reset with %d nodes, engine has %d caches",
+			space.P(), len(e.caches)))
+	}
+	if bb := e.caches[0].Config().BlockBytes; bb != space.BlockBytes() {
+		panic(fmt.Sprintf("coherence: Reset cache block %dB != space block %dB",
+			bb, space.BlockBytes()))
+	}
+	e.space = space
+	e.Transactions = 0
+	for _, c := range e.caches {
+		c.Reset()
+	}
+	for _, ch := range e.dir {
+		if ch == nil {
+			continue
+		}
+		for i := range ch.entries {
+			ch.entries[i] = entry{owner: -1, home: -1}
+		}
+		for i := range ch.locks {
+			ch.locks[i] = sim.Lock{}
+		}
+	}
+	if sz := space.Size(); sz > 0 {
+		nChunks := int(space.BlockOf(sz-1))>>dirChunkShift + 1
+		for len(e.dir) < nChunks {
+			e.dir = append(e.dir, nil)
+		}
+	}
+}
+
 // Cache returns node n's cache (exposed for tests and statistics).
 func (e *Engine) Cache(n int) *cache.Cache { return e.caches[n] }
 

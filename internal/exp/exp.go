@@ -13,10 +13,10 @@ import (
 	"strings"
 	"sync"
 
-	"spasm/internal/app"
 	"spasm/internal/apps"
 	"spasm/internal/logp"
 	"spasm/internal/machine"
+	"spasm/internal/runpool"
 	"spasm/internal/sim"
 	"spasm/internal/stats"
 )
@@ -204,11 +204,21 @@ type Session struct {
 	opt   Options
 	mu    sync.Mutex
 	cache map[string]*stats.Run
+
+	// pool holds reusable run contexts for the session's lifetime, so a
+	// figure sweep pays machine construction once per configuration
+	// rather than once per run.  It is safe for the session's worker
+	// pool; its idle cap bounds retained memory.
+	pool *runpool.Pool
 }
 
 // NewSession returns a Session with the given options.
 func NewSession(opt Options) *Session {
-	return &Session{opt: opt.WithDefaults(), cache: map[string]*stats.Run{}}
+	return &Session{
+		opt:   opt.WithDefaults(),
+		cache: map[string]*stats.Run{},
+		pool:  runpool.New(0),
+	}
 }
 
 // Options returns the session's (defaulted) options.
@@ -245,81 +255,26 @@ func (s *Session) Run(appName, topo string, kind machine.Kind, p int) (*stats.Ru
 	if r, ok := s.lookup(key); ok {
 		return r, nil
 	}
-	if s.opt.Runner != nil {
-		r, err := s.opt.Runner(appName, topo, kind, p)
-		if err != nil {
-			return nil, err
-		}
-		s.store(key, r)
-		return r, nil
-	}
-	prog, err := apps.New(appName, s.opt.Scale, s.opt.Seed)
-	if err != nil {
-		// Ad-hoc figures may sweep the extension workloads too.
-		var extErr error
-		prog, extErr = apps.NewExtended(appName, s.opt.Scale, s.opt.Seed)
-		if extErr != nil {
-			return nil, err
-		}
-	}
-	res, err := app.Run(prog, machine.Config{
-		Kind:     kind,
-		Topology: topo,
-		P:        p,
-		PortMode: s.opt.PortMode,
-	})
+	r, err := s.simulate(appName, topo, kind, p, s.pool)
 	if err != nil {
 		return nil, err
 	}
-	s.store(key, res.Stats)
-	return res.Stats, nil
+	s.store(key, r)
+	return r, nil
 }
 
-// Prefetch runs the given combinations concurrently (up to
-// Options.Parallel at a time) and fills the cache; the first error is
-// returned.  Each simulation is internally single-threaded and fully
-// deterministic, so parallel prefetching changes wall time only.
+// Prefetch runs the given combinations on the batch scheduler (up to
+// Options.Parallel workers on the session's context pool) and fills
+// the cache; the first error in key order is returned.  Each simulation
+// is internally single-threaded and fully deterministic, so parallel
+// prefetching changes wall time only.
 func (s *Session) Prefetch(keys []runKey) error {
-	workers := s.opt.Parallel
-	if workers < 2 || len(keys) < 2 {
-		for _, k := range keys {
-			if _, err := s.Run(k.app, k.topo, k.kind, k.p); err != nil {
-				return err
-			}
-		}
-		return nil
+	pts := make([]BatchPoint, len(keys))
+	for i, k := range keys {
+		pts[i] = BatchPoint{App: k.app, Topology: k.topo, Kind: k.kind, P: k.p}
 	}
-	// Buffer the whole work list up front so early worker exits (on
-	// error) can never block the producer.
-	work := make(chan runKey, len(keys))
-	for _, k := range keys {
-		work <- k
-	}
-	close(work)
-	errs := make(chan error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for k := range work {
-				if _, err := s.Run(k.app, k.topo, k.kind, k.p); err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	select {
-	case err := <-errs:
-		return err
-	default:
-		return nil
-	}
+	_, err := s.RunBatch(pts)
+	return err
 }
 
 // Figure regenerates one paper figure.

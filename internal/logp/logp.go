@@ -115,6 +115,22 @@ func New(p int, l, g sim.Time, mode PortMode) *Net {
 // P returns the number of nodes.
 func (n *Net) P() int { return len(n.last) }
 
+// Reset returns the net to its post-New state in place: every port slot
+// re-stamped to -g (so the first event at each node may again happen at
+// time zero), traffic counters zeroed, and no Observer.  L, G, Mode, and
+// the Crosses predicate are configuration — derived from the machine
+// and topology the pooled context is keyed by — and are left alone.
+func (n *Net) Reset() {
+	for i := range n.last {
+		n.last[i] = -n.G
+		n.lastSend[i] = -n.G
+		n.lastRecv[i] = -n.G
+	}
+	n.Messages = 0
+	n.Crossing = 0
+	n.Observer = nil
+}
+
 // adaptiveWarmup is how many messages the adaptive estimator observes
 // before trusting its locality history.
 const adaptiveWarmup = 32

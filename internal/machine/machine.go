@@ -115,6 +115,15 @@ type Config struct {
 	Protocol coherence.Protocol
 }
 
+// Canonical returns the configuration with every defaulted field made
+// explicit (topology name, cache geometry, costs, link speed, L).  Two
+// configurations that build identical machines canonicalize to the same
+// value, which is what makes Config usable as a pooling key: runpool
+// keys contexts by Canonical() so `Topology: ""` and `Topology: "full"`
+// share a context.  Canonical does not fill P — a machine cannot be
+// pooled without knowing its node count.
+func (c Config) Canonical() Config { return c.withDefaults() }
+
 // withDefaults fills zero fields with the paper's parameters.
 func (c Config) withDefaults() Config {
 	if c.Topology == "" {

@@ -87,6 +87,37 @@ func NewSpace(p, blockBytes int) *Space {
 	return &Space{p: p, blockBytes: blockBytes, blockShift: shift}
 }
 
+// Reset returns the space to its post-NewSpace(p, blockBytes) state while
+// keeping the backing arrays of the region list and the per-block home
+// memo, so a pooled space re-runs an application setup without
+// reallocating them.  Retained region slots are cleared (no stale *Array
+// stays reachable) and the home memo is re-stamped to -1 over its full
+// length: the memo is a pure function of the region list, so a re-stamped
+// memo recomputes exactly the values a fresh space would.
+func (s *Space) Reset(p, blockBytes int) {
+	if p < 1 {
+		panic("mem: Reset with p < 1")
+	}
+	if blockBytes <= 0 || blockBytes&(blockBytes-1) != 0 {
+		panic(fmt.Sprintf("mem: block size %d not a power of two", blockBytes))
+	}
+	shift := uint(0)
+	for 1<<shift != blockBytes {
+		shift++
+	}
+	s.p = p
+	s.blockBytes = blockBytes
+	s.blockShift = shift
+	s.next = 0
+	for i := range s.regions {
+		s.regions[i] = nil
+	}
+	s.regions = s.regions[:0]
+	for i := range s.homes {
+		s.homes[i] = -1
+	}
+}
+
 // P returns the number of home nodes.
 func (s *Space) P() int { return s.p }
 

@@ -62,6 +62,32 @@ func NewFabric(t Topology) *Fabric {
 // Topology returns the underlying topology.
 func (f *Fabric) Topology() Topology { return f.topo }
 
+// Reset returns the fabric to its post-NewFabric state in place: all
+// link, injection, and ejection ports free at time zero, traffic counters
+// zeroed, no Observer, and every link restored to nominal speed.  The
+// per-resource availability arrays — and the Degrade factor array, if one
+// was ever allocated — are cleared rather than reallocated, and the
+// topology (with its precomputed route tables) is reused as-is, since it
+// is immutable.  ByteTime and SwitchDelay are configuration of the pooled
+// context and are left alone.
+func (f *Fabric) Reset() {
+	for i := range f.linkFree {
+		f.linkFree[i] = 0
+	}
+	for i := range f.injFree {
+		f.injFree[i] = 0
+	}
+	for i := range f.ejFree {
+		f.ejFree[i] = 0
+	}
+	for i := range f.slow {
+		f.slow[i] = 0
+	}
+	f.Observer = nil
+	f.Messages = 0
+	f.Bytes = 0
+}
+
 // Degrade marks a directed link as transmitting factor times slower than
 // nominal (factor >= 1): fault injection for studying what per-link
 // detail the abstract network models cannot see.

@@ -323,7 +323,8 @@ func (e *epochAcc) merge(o *epochAcc) {
 
 // Profiler samples one run.  Create with New, pass to
 // app.RunInstrumented (or use the spasm.RunProfiled façade), then read
-// Profile.  A Profiler must not be reused across runs.
+// Profile.  A Profiler must not be reused across runs without calling
+// Reset between them.
 type Profiler struct {
 	cfg Config
 
@@ -354,6 +355,31 @@ func New(cfg Config) *Profiler {
 	return &Profiler{cfg: cfg, epochLen: cfg.EpochLen, maxEpochs: cfg.MaxEpochs}
 }
 
+// Reset returns the profiler to its post-New state so it can sample
+// another run, keeping the epoch accumulator's and the snapshot table's
+// backing arrays.  Retained epoch slots are cleared rather than reused:
+// the previously emitted Profile aliases their per-proc sample slices
+// (Finish hands them over without copying), so a reused slot would
+// corrupt it — epochAt re-populates cleared slots exactly as it fills
+// fresh ones, which keeps reset profilers byte-identical to fresh ones.
+func (pr *Profiler) Reset() {
+	pr.run = nil
+	pr.eng = nil
+	pr.p = 0
+	pr.numLinks = 0
+	pr.kind = ""
+	pr.topo = ""
+	pr.epochLen = pr.cfg.EpochLen
+	pr.maxEpochs = pr.cfg.MaxEpochs
+	for i := range pr.epochs {
+		pr.epochs[i] = epochAcc{}
+	}
+	pr.epochs = pr.epochs[:0]
+	pr.closed = 0
+	pr.snap = pr.snap[:0]
+	pr.profile = nil
+}
+
 // Attach implements app.Instrument: it hooks the engine clock and, when
 // the machine has one, the detailed fabric or the abstract network.
 func (pr *Profiler) Attach(cfg machine.Config, eng *sim.Engine, run *stats.Run, m machine.Machine) {
@@ -362,7 +388,14 @@ func (pr *Profiler) Attach(cfg machine.Config, eng *sim.Engine, run *stats.Run, 
 	pr.p = run.P()
 	pr.kind = m.Kind().String()
 	pr.topo = cfg.Topology
-	pr.snap = make([]procSnap, pr.p)
+	if cap(pr.snap) >= pr.p {
+		pr.snap = pr.snap[:pr.p]
+		for i := range pr.snap {
+			pr.snap[i] = procSnap{}
+		}
+	} else {
+		pr.snap = make([]procSnap, pr.p)
+	}
 
 	prev := eng.Tick
 	eng.Tick = func(now sim.Time) {

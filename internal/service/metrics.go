@@ -38,16 +38,17 @@ type Metrics struct {
 	start   time.Time
 	workers int
 
-	mu        sync.Mutex
-	submitted uint64
-	coalesced uint64
-	done      uint64
-	failed    uint64
-	rejected  uint64 // submissions bounced with ErrQueueFull
-	profHits  uint64 // profiles served from the memoized encoding
-	profMiss  uint64 // profiles computed on demand
-	busy      int
-	byPath    map[string]*histogram
+	mu            sync.Mutex
+	submitted     uint64
+	coalesced     uint64
+	done          uint64
+	failed        uint64
+	rejected      uint64 // submissions bounced with ErrQueueFull
+	profHits      uint64 // profiles served from the memoized encoding
+	profMiss      uint64 // profiles computed on demand
+	profCoalesced uint64 // profile requests that waited on an in-flight computation
+	busy          int
+	byPath        map[string]*histogram
 }
 
 func newMetrics(start time.Time, workers int) *Metrics {
@@ -92,6 +93,12 @@ func (m *Metrics) profileServed(hit bool) {
 	m.mu.Unlock()
 }
 
+func (m *Metrics) profileCoalesced() {
+	m.mu.Lock()
+	m.profCoalesced++
+	m.mu.Unlock()
+}
+
 func (m *Metrics) workerBusy(delta int) {
 	m.mu.Lock()
 	m.busy += delta
@@ -110,8 +117,9 @@ func (m *Metrics) observe(path string, d time.Duration) {
 }
 
 // render writes the metrics in the Prometheus text exposition format.
-// Cache and queue figures are passed in by the Server, which owns them.
-func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evictions uint64, entries int) {
+// Cache, queue, and pool figures are passed in by the Server, which owns
+// them.
+func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evictions uint64, entries int, pool poolStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	fmt.Fprintf(b, "spasmd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
@@ -119,16 +127,23 @@ func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evict
 	fmt.Fprintf(b, "spasmd_workers_busy %d\n", m.busy)
 	fmt.Fprintf(b, "spasmd_queue_depth %d\n", queueDepth)
 	fmt.Fprintf(b, "spasmd_jobs_submitted_total %d\n", m.submitted)
+	// runs_coalesced is the canonical name; jobs_coalesced is kept as an
+	// alias of the same counter for dashboards built against PR 1.
+	fmt.Fprintf(b, "spasmd_runs_coalesced_total %d\n", m.coalesced)
 	fmt.Fprintf(b, "spasmd_jobs_coalesced_total %d\n", m.coalesced)
 	fmt.Fprintf(b, "spasmd_jobs_done_total %d\n", m.done)
 	fmt.Fprintf(b, "spasmd_jobs_failed_total %d\n", m.failed)
 	fmt.Fprintf(b, "spasmd_jobs_rejected_total %d\n", m.rejected)
 	fmt.Fprintf(b, "spasmd_profile_cache_hits_total %d\n", m.profHits)
 	fmt.Fprintf(b, "spasmd_profile_cache_misses_total %d\n", m.profMiss)
+	fmt.Fprintf(b, "spasmd_profiles_coalesced_total %d\n", m.profCoalesced)
 	fmt.Fprintf(b, "spasmd_cache_hits_total %d\n", hits)
 	fmt.Fprintf(b, "spasmd_cache_misses_total %d\n", misses)
 	fmt.Fprintf(b, "spasmd_cache_evictions_total %d\n", evictions)
 	fmt.Fprintf(b, "spasmd_cache_entries %d\n", entries)
+	fmt.Fprintf(b, "spasmd_pool_hits_total %d\n", pool.Hits)
+	fmt.Fprintf(b, "spasmd_pool_misses_total %d\n", pool.Misses)
+	fmt.Fprintf(b, "spasmd_pool_contexts_live %d\n", pool.Live)
 
 	paths := make([]string, 0, len(m.byPath))
 	for p := range m.byPath {
@@ -146,13 +161,22 @@ func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evict
 	}
 }
 
+// poolStats mirrors the run-context pool's counters for rendering
+// without importing the pool type here.
+type poolStats struct {
+	Hits, Misses uint64
+	Live         int
+}
+
 // Render returns the full metrics page; the Server method gathers the
-// cache and queue numbers under its own lock.
+// cache, queue, and pool numbers under the locks that own them.
 func (s *Server) RenderMetrics() string {
 	s.mu.Lock()
 	hits, misses, evictions, entries := s.cache.counters()
 	s.mu.Unlock()
+	ps := s.pool.Stats()
 	var b strings.Builder
-	s.metrics.render(&b, s.QueueDepth(), hits, misses, evictions, entries)
+	s.metrics.render(&b, s.QueueDepth(), hits, misses, evictions, entries,
+		poolStats{Hits: ps.Hits, Misses: ps.Misses, Live: ps.Live})
 	return b.String()
 }

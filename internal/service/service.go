@@ -124,11 +124,17 @@ type Server struct {
 	cfg     Config
 	metrics *Metrics
 
-	mu       sync.Mutex
-	active   map[string]*Job // pending + running jobs by ID
-	cache    *lru            // completed results (also guarded by mu)
-	queue    chan *Job
-	draining bool
+	mu         sync.Mutex
+	active     map[string]*Job // pending + running jobs by ID
+	cache      *lru            // completed results (also guarded by mu)
+	queue      chan *Job
+	draining   bool
+	profFlight map[string]chan struct{} // in-flight profile computations by ID
+
+	// pool holds reusable run contexts shared by the workers, so the
+	// daemon amortizes machine construction across the jobs it executes;
+	// its hit/miss/live counters are exported on /metrics.
+	pool *spasm.RunPool
 
 	workers sync.WaitGroup
 }
@@ -136,12 +142,18 @@ type Server struct {
 // New starts a Server with cfg.Workers worker goroutines.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	idle := 2 * cfg.Workers
+	if idle < 16 {
+		idle = 16
+	}
 	s := &Server{
-		cfg:     cfg,
-		metrics: newMetrics(time.Now(), cfg.Workers),
-		active:  make(map[string]*Job),
-		cache:   newLRU(cfg.CacheSize),
-		queue:   make(chan *Job, cfg.QueueDepth),
+		cfg:        cfg,
+		metrics:    newMetrics(time.Now(), cfg.Workers),
+		active:     make(map[string]*Job),
+		cache:      newLRU(cfg.CacheSize),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		profFlight: make(map[string]chan struct{}),
+		pool:       spasm.NewRunPool(idle),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -204,7 +216,7 @@ func (s *Server) worker() {
 		s.mu.Unlock()
 
 		e := &entry{id: job.id, req: job.req}
-		res, err := runSpecSafely(job.spec)
+		res, err := runSpecSafely(job.spec, s.pool)
 		if err == nil {
 			var doc []byte
 			doc, err = json.Marshal(report.RunJSON(res))
@@ -224,14 +236,17 @@ func (s *Server) worker() {
 // runSpecSafely shields the daemon from panicking simulations: invalid
 // topology/processor combinations (and any future simulator bug) fail
 // the one job — deterministically, so the failure is cacheable — rather
-// than killing the server.
-func runSpecSafely(spec spasm.Spec) (res *spasm.Result, err error) {
+// than killing the server.  Runs execute on the server's context pool;
+// pooled runs are bit-identical to fresh ones, and the RunDoc the worker
+// stores is derived from the result's freshly allocated statistics, so
+// nothing cached aliases pooled state.
+func runSpecSafely(spec spasm.Spec, pool *spasm.RunPool) (res *spasm.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("run panicked: %v", r)
 		}
 	}()
-	return spasm.RunSpec(spec)
+	return spasm.RunSpecOn(spec, pool)
 }
 
 // finish publishes a job's result: into the cache, out of the active
@@ -299,34 +314,76 @@ func (s *Server) runStats(ctx context.Context, spec spasm.Spec) (*stats.Run, err
 // every call for the same spec).  The profile is computed on first
 // request — by re-running the spec with the probe attached, which is
 // sound because profiles are deterministic — and memoized on the run's
-// cache entry.  It returns ErrUnknownRun for ids that are neither
-// active nor cached, ErrRunActive while the run is still in flight, and
-// the run's own error for failed runs.
+// cache entry.  Concurrent requests for the same id coalesce onto one
+// computation (singleflight): waiters block on the leader and then read
+// the memoized encoding.  It returns ErrUnknownRun for ids that are
+// neither active nor cached, ErrRunActive while the run is still in
+// flight, and the run's own error for failed runs.
 func (s *Server) Profile(id string) (*probe.Profile, []byte, error) {
-	s.mu.Lock()
-	if _, ok := s.active[id]; ok {
+	// Each request is counted exactly once: a hit (memoized encoding was
+	// already there), a miss (this request computed it), or coalesced
+	// (waited on another request's computation).
+	waited := false
+	for {
+		s.mu.Lock()
+		if _, ok := s.active[id]; ok {
+			s.mu.Unlock()
+			return nil, nil, ErrRunActive
+		}
+		e, ok := s.cache.get(id, false)
+		if !ok {
+			s.mu.Unlock()
+			return nil, nil, ErrUnknownRun
+		}
+		if e.err != "" {
+			s.mu.Unlock()
+			return nil, nil, fmt.Errorf("service: run %s failed: %s", id[:12], e.err)
+		}
+		if e.prof != nil {
+			prof, raw := e.prof, e.profBytes
+			s.mu.Unlock()
+			if !waited {
+				s.metrics.profileServed(true)
+			}
+			return prof, raw, nil
+		}
+		flight, inFlight := s.profFlight[id]
+		if inFlight {
+			// Another request is already computing this profile; wait
+			// for it and re-check from the top (on the rare eviction
+			// between memoization and our re-check, the loop recomputes).
+			s.mu.Unlock()
+			s.metrics.profileCoalesced()
+			waited = true
+			<-flight
+			continue
+		}
+		ch := make(chan struct{})
+		s.profFlight[id] = ch
+		req := e.req
 		s.mu.Unlock()
-		return nil, nil, ErrRunActive
-	}
-	e, ok := s.cache.get(id, false)
-	if !ok {
-		s.mu.Unlock()
-		return nil, nil, ErrUnknownRun
-	}
-	if e.err != "" {
-		s.mu.Unlock()
-		return nil, nil, fmt.Errorf("service: run %s failed: %s", id[:12], e.err)
-	}
-	if e.prof != nil {
-		prof, raw := e.prof, e.profBytes
-		s.mu.Unlock()
-		s.metrics.profileServed(true)
-		return prof, raw, nil
-	}
-	req := e.req
-	s.mu.Unlock()
-	s.metrics.profileServed(false)
+		s.metrics.profileServed(false)
 
+		prof, raw, err := computeProfile(req)
+
+		// Memoize on the entry if it is still cached and we succeeded,
+		// then release the flight so waiters can read the result.
+		s.mu.Lock()
+		if err == nil {
+			if e, ok := s.cache.get(id, false); ok && e.prof == nil {
+				e.prof, e.profBytes = prof, raw
+			}
+		}
+		delete(s.profFlight, id)
+		s.mu.Unlock()
+		close(ch)
+		return prof, raw, err
+	}
+}
+
+// computeProfile derives a run's profile from its request: re-run the
+// spec instrumented, then encode the profile canonically.
+func computeProfile(req RunRequest) (*probe.Profile, []byte, error) {
 	spec, err := req.Spec()
 	if err != nil {
 		return nil, nil, err
@@ -339,17 +396,7 @@ func (s *Server) Profile(id string) (*probe.Profile, []byte, error) {
 	if _, err := prof.Encode(&buf); err != nil {
 		return nil, nil, err
 	}
-	raw := buf.Bytes()
-
-	// Memoize on the entry if it is still cached (it may have been
-	// evicted, or another request may have raced us to the same
-	// deterministic bytes — either way this is safe).
-	s.mu.Lock()
-	if e, ok := s.cache.get(id, false); ok && e.prof == nil {
-		e.prof, e.profBytes = prof, raw
-	}
-	s.mu.Unlock()
-	return prof, raw, nil
+	return prof, buf.Bytes(), nil
 }
 
 // profileSpecSafely shields the daemon from panicking instrumented runs,

@@ -126,6 +126,45 @@ func NewEngine() *Engine {
 	return &Engine{done: make(chan error, 1)}
 }
 
+// Reset returns the engine to its post-NewEngine state while keeping the
+// backing arrays of the event heap, the same-timestamp FIFO, and the
+// process table, so a pooled engine re-runs without reallocating them.
+// All retained slots are cleared so no *Proc (and hence no goroutine
+// stack) from the previous run stays reachable.  The per-run hooks
+// (Tick, MaxTime) are cleared too: they are configuration of one run,
+// not of the engine.
+//
+// Reset must not be called while Run is in flight.  After a failed run
+// (deadlock, panic, time limit) any still-parked process goroutines from
+// the old run are orphaned exactly as they would be with a fresh engine;
+// they hold no reference the reset engine will ever touch.
+func (e *Engine) Reset() {
+	for i := range e.heap.s {
+		e.heap.s[i] = event{}
+	}
+	e.heap.s = e.heap.s[:0]
+	for i := range e.nowQ {
+		e.nowQ[i] = event{}
+	}
+	e.nowQ = e.nowQ[:0]
+	e.nowHead = 0
+	for i := range e.procs {
+		e.procs[i] = nil
+	}
+	e.procs = e.procs[:0]
+	e.now = 0
+	e.seq = 0
+	e.nLive = 0
+	e.running = nil
+	e.failure = nil
+	e.Events = 0
+	e.MaxTime = 0
+	e.Tick = nil
+	// The done channel may hold an unread result if the previous run was
+	// abandoned; a fresh channel is cheaper than reasoning about drains.
+	e.done = make(chan error, 1)
+}
+
 // Now reports the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
