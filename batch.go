@@ -58,6 +58,30 @@ func RunOn(appName string, scale Scale, seed int64, cfg Config, pool *RunPool) (
 // lifetime semantics.  It is the path the spasmd workers use, so the
 // service amortizes construction across the jobs it executes.
 func RunSpecOn(spec Spec, pool *RunPool) (*Result, error) {
+	return RunSpecControlled(spec, pool, RunControl{})
+}
+
+// RunControl carries the failure-containment knobs of one run: a
+// wall-clock Timeout and/or a Cancel channel, either of which aborts
+// the run cooperatively (every simulated-process goroutine unwinds; no
+// leaks).  The zero value means "run to completion" and costs nothing.
+type RunControl = app.RunControl
+
+// Failure-containment sentinels: match these with errors.Is to tell a
+// bounded run's abort reason apart from a genuine simulation failure.
+var (
+	// ErrRunTimeout marks a run aborted by RunControl.Timeout.
+	ErrRunTimeout = app.ErrRunTimeout
+	// ErrRunCanceled marks a run aborted by RunControl.Cancel.
+	ErrRunCanceled = app.ErrRunCanceled
+)
+
+// RunSpecControlled is RunSpecOn bounded by ctl.  An aborted or failed
+// run discards its pooled context instead of returning it to the
+// freelist — half-finished simulation state never re-enters the pool —
+// so the only cost of an abort is one fresh construction on the next
+// run of that configuration.
+func RunSpecControlled(spec Spec, pool *RunPool, ctl RunControl) (*Result, error) {
 	spec = spec.Canonical()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -70,5 +94,5 @@ func RunSpecOn(spec Spec, pool *RunPool) (*Result, error) {
 			return nil, err
 		}
 	}
-	return app.RunPooled(prog, spec.Config(), pool)
+	return app.RunPooledControlled(prog, spec.Config(), pool, ctl)
 }

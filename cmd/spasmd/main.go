@@ -38,15 +38,21 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8347", "listen address")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		cacheSize = flag.Int("cache", 512, "result-cache capacity, in runs")
-		queue     = flag.Int("queue", 1024, "pending-job queue depth")
-		drain     = flag.Duration("drain", 10*time.Minute, "graceful-shutdown drain timeout")
+		addr       = flag.String("addr", ":8347", "listen address")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		cacheSize  = flag.Int("cache", 512, "result-cache capacity, in runs")
+		queue      = flag.Int("queue", 1024, "pending-job queue depth")
+		drain      = flag.Duration("drain", 10*time.Minute, "graceful-shutdown drain timeout")
+		runTimeout = flag.Duration("run-timeout", 0, "per-job wall-clock simulation deadline (0 = unbounded)")
+		negCache   = flag.Int("neg-cache", 64, "failed-result cache capacity, in runs")
+		negTTL     = flag.Duration("neg-ttl", 30*time.Second, "failed-result cache entry lifetime")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{Workers: *workers, CacheSize: *cacheSize, QueueDepth: *queue})
+	svc := service.New(service.Config{
+		Workers: *workers, CacheSize: *cacheSize, QueueDepth: *queue,
+		RunTimeout: *runTimeout, NegativeCacheSize: *negCache, NegativeTTL: *negTTL,
+	})
 	hs := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

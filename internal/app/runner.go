@@ -1,7 +1,9 @@
 package app
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"spasm/internal/machine"
@@ -10,6 +12,31 @@ import (
 	"spasm/internal/sim"
 	"spasm/internal/stats"
 )
+
+// Failure-containment sentinels: how a controlled run reports that it
+// was stopped rather than finished.  Both wrap the engine's cooperative
+// abort, so by the time either is returned every simulated-process
+// goroutine has unwound — a stopped run leaks nothing.
+var (
+	// ErrRunTimeout marks a run aborted by RunControl.Timeout.
+	ErrRunTimeout = errors.New("run exceeded its wall-clock timeout")
+	// ErrRunCanceled marks a run aborted by RunControl.Cancel.
+	ErrRunCanceled = errors.New("run canceled")
+)
+
+// RunControl carries the failure-containment knobs of one run.  The
+// zero value means "run to completion" and costs nothing — the watchdog
+// goroutine only exists when a knob is set.
+type RunControl struct {
+	// Timeout bounds the run's wall-clock execution; past it the engine
+	// is interrupted and the run fails with ErrRunTimeout.
+	Timeout time.Duration
+	// Cancel, when non-nil, aborts the run with ErrRunCanceled once the
+	// channel is closed.
+	Cancel <-chan struct{}
+}
+
+func (c RunControl) enabled() bool { return c.Timeout > 0 || c.Cancel != nil }
 
 // Ctx is the shared context of one program run: the address space the
 // program allocates into, the machine it runs on, and the statistics it
@@ -99,7 +126,24 @@ func RunInstrumented(prog Program, cfg machine.Config, wrap func(machine.Machine
 	space := mem.NewSpace(cfg.P, blockBytes)
 	eng := sim.NewEngine()
 	bind := func() (machine.Machine, error) { return machine.New(cfg, space) }
-	return runOn(prog, cfg, space, eng, bind, wrap, inst)
+	return runOn(prog, cfg, space, eng, bind, wrap, inst, RunControl{})
+}
+
+// RunControlled is Run bounded by ctl: the watchdog interrupts the
+// engine on timeout or cancellation, and the run fails with
+// ErrRunTimeout or ErrRunCanceled (wrapped with the run's identity).
+func RunControlled(prog Program, cfg machine.Config, ctl RunControl) (*Result, error) {
+	if cfg.P < 1 {
+		return nil, fmt.Errorf("app: run with P=%d", cfg.P)
+	}
+	blockBytes := cfg.Cache.BlockBytes
+	if blockBytes == 0 {
+		blockBytes = mem.DefaultBlockBytes
+	}
+	space := mem.NewSpace(cfg.P, blockBytes)
+	eng := sim.NewEngine()
+	bind := func() (machine.Machine, error) { return machine.New(cfg, space) }
+	return runOn(prog, cfg, space, eng, bind, nil, nil, ctl)
 }
 
 // RunPooled is Run on a pooled context: the engine, address space, and
@@ -111,15 +155,34 @@ func RunInstrumented(prog Program, cfg machine.Config, wrap func(machine.Machine
 // Result.Phases are freshly allocated and safe to keep.  A nil pool
 // falls back to Run.
 func RunPooled(prog Program, cfg machine.Config, pool *runpool.Pool) (*Result, error) {
+	return RunPooledControlled(prog, cfg, pool, RunControl{})
+}
+
+// RunPooledControlled is RunPooled bounded by ctl.  Its pool discipline
+// differs from RunPooled's on failure: a context whose run did not
+// complete cleanly — aborted, panicked, deadlocked, or failed its result
+// check — is Discarded rather than returned to the freelist, because the
+// reset invariants the pool relies on (docs/INTERNALS.md §9) are only
+// established for state a run finished with.  Successful runs Put their
+// context back as usual.
+func RunPooledControlled(prog Program, cfg machine.Config, pool *runpool.Pool, ctl RunControl) (*Result, error) {
 	if pool == nil {
+		if ctl.enabled() {
+			return RunControlled(prog, cfg, ctl)
+		}
 		return Run(prog, cfg)
 	}
 	ctx, err := pool.Get(cfg)
 	if err != nil {
 		return nil, err
 	}
-	defer pool.Put(ctx)
-	return runOn(prog, cfg, ctx.Space, ctx.Eng, ctx.Bind, nil, nil)
+	res, err := runOn(prog, cfg, ctx.Space, ctx.Eng, ctx.Bind, nil, nil, ctl)
+	if err != nil {
+		pool.Discard(ctx)
+		return nil, err
+	}
+	pool.Put(ctx)
+	return res, nil
 }
 
 // runOn is the shared run core: set up the program in space, bind the
@@ -127,9 +190,16 @@ func RunPooled(prog Program, cfg machine.Config, pool *runpool.Pool) (*Result, e
 // ones — deferred until after Setup because the coherence directory is
 // sized from the space footprint), spawn one process per node, and drive
 // the event loop to completion.
+//
+// When ctl is enabled, a watchdog goroutine interrupts the engine on
+// timeout or cancellation; the resulting cooperative abort unwinds every
+// process goroutine and the run fails with ErrRunTimeout or
+// ErrRunCanceled.  The watchdog is joined before runOn returns, so a
+// late Interrupt can never poison a subsequent run on the same (pooled)
+// engine.
 func runOn(prog Program, cfg machine.Config, space *mem.Space, eng *sim.Engine,
 	bind func() (machine.Machine, error),
-	wrap func(machine.Machine) machine.Machine, inst Instrument) (*Result, error) {
+	wrap func(machine.Machine) machine.Machine, inst Instrument, ctl RunControl) (*Result, error) {
 	run := stats.NewRun(cfg.P)
 	ctx := &Ctx{P: cfg.P, Space: space, Run: run, Eng: eng, Phases: newPhaseProfile()}
 
@@ -159,8 +229,49 @@ func runOn(prog Program, cfg machine.Config, space *mem.Space, eng *sim.Engine,
 		})
 	}
 
+	var timedOut, wasCanceled atomic.Bool
+	if ctl.enabled() {
+		watch := make(chan struct{})
+		watchDone := make(chan struct{})
+		var timer <-chan time.Time
+		var stop func() bool
+		if ctl.Timeout > 0 {
+			tm := time.NewTimer(ctl.Timeout)
+			timer = tm.C
+			stop = tm.Stop
+		}
+		go func() {
+			defer close(watchDone)
+			select {
+			case <-timer:
+				timedOut.Store(true)
+				eng.Interrupt()
+			case <-ctl.Cancel:
+				wasCanceled.Store(true)
+				eng.Interrupt()
+			case <-watch:
+			}
+		}()
+		defer func() {
+			close(watch)
+			<-watchDone
+			if stop != nil {
+				stop()
+			}
+		}()
+	}
+
 	t0 := time.Now()
 	if err := eng.Run(); err != nil {
+		var ab *sim.AbortError
+		if errors.As(err, &ab) {
+			switch {
+			case timedOut.Load():
+				err = fmt.Errorf("%w after %v (simulated time %v)", ErrRunTimeout, ctl.Timeout, ab.At)
+			case wasCanceled.Load():
+				err = fmt.Errorf("%w (simulated time %v)", ErrRunCanceled, ab.At)
+			}
+		}
 		return nil, fmt.Errorf("app: %s on %v/%s p=%d: %w",
 			prog.Name(), cfg.Kind, cfg.Topology, cfg.P, err)
 	}

@@ -140,12 +140,12 @@ func (s *Session) simulate(appName, topo string, kind machine.Kind, p int, pool 
 			return nil, err
 		}
 	}
-	res, err := app.RunPooled(prog, machine.Config{
+	res, err := app.RunPooledControlled(prog, machine.Config{
 		Kind:     kind,
 		Topology: topo,
 		P:        p,
 		PortMode: s.opt.PortMode,
-	}, pool)
+	}, pool, app.RunControl{Timeout: s.opt.RunTimeout})
 	if err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"spasm/internal/apps"
 	"spasm/internal/logp"
@@ -139,6 +140,12 @@ type Options struct {
 	// host (each simulation is single-threaded and independent, so
 	// this is pure speedup; results are identical).  Default 1.
 	Parallel int
+	// RunTimeout bounds each underlying simulation's wall-clock
+	// execution; a run past the deadline is aborted cooperatively and
+	// fails with app.ErrRunTimeout, its pooled context discarded.  Zero
+	// (the default) means unbounded.  Ignored when Runner is set — a
+	// delegated runner enforces its own deadline.
+	RunTimeout time.Duration
 	// Runner, if non-nil, executes the session's underlying
 	// simulations in place of the session building and running the
 	// program itself.  It must return statistics equivalent to a

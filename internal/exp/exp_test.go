@@ -1,9 +1,12 @@
 package exp
 
 import (
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
+	"spasm/internal/app"
 	"spasm/internal/apps"
 	"spasm/internal/logp"
 	"spasm/internal/machine"
@@ -330,5 +333,22 @@ func TestUnknownAppError(t *testing.T) {
 	s := tinySession()
 	if _, err := s.Run("nope", "full", machine.Target, 2); err == nil {
 		t.Error("unknown app accepted")
+	}
+}
+
+func TestRunTimeoutOption(t *testing.T) {
+	// A 1ns deadline has expired before the event loop polls the stop
+	// flag for the first time, so every simulation aborts — and the
+	// failure carries the timeout sentinel, not a generic error.
+	s := NewSession(Options{Scale: apps.Tiny, Procs: []int{4}, RunTimeout: time.Nanosecond})
+	_, err := s.Run("ep", "full", machine.Target, 4)
+	if !errors.Is(err, app.ErrRunTimeout) {
+		t.Fatalf("want ErrRunTimeout, got %v", err)
+	}
+	// The same session still completes unbounded work: the aborted
+	// run's pooled context was discarded, not recycled mid-flight.
+	s2 := NewSession(Options{Scale: apps.Tiny, Procs: []int{4}})
+	if _, err := s2.Run("ep", "full", machine.Target, 4); err != nil {
+		t.Fatal(err)
 	}
 }

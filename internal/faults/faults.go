@@ -1,0 +1,90 @@
+// Package faults is a test-only fault-injection registry for the
+// failure-domain hardening tests: chaos tests register handlers at named
+// points in the service's execution (run execution, result marshaling,
+// the worker loop) and production code Fires those points where a real
+// fault would strike.
+//
+// The package is compiled into production binaries, so the disabled path
+// is engineered to near-zero cost: Fire is a single atomic load when no
+// handler is registered anywhere, and handlers are consulted under a
+// read lock only after that load trips.  Handlers may return an error
+// (injected failure), panic (injected crash), or sleep (injected stall /
+// hang) — whatever failure mode the test is pinning.
+package faults
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Point names an injection site.  Production code fires these at the
+// places where a real fault would surface.
+type Point string
+
+const (
+	// RunExec fires in the service worker just before a job's
+	// simulation executes; an error stands in for a failed run, a panic
+	// for a crashed one, a sleep for a run that hangs.
+	RunExec Point = "run-exec"
+	// Marshal fires just before a finished run's document is
+	// serialized; an error stands in for an unencodable result.
+	Marshal Point = "marshal"
+	// WorkerStall fires at the top of each worker-loop iteration,
+	// before the worker commits to a job; a sleeping handler wedges the
+	// worker, which is how the chaos tests pile up a queue to cancel.
+	WorkerStall Point = "worker-stall"
+)
+
+// Handler is an injected fault.  Returning nil lets execution proceed;
+// returning an error injects a failure at the point; panicking or
+// sleeping injects the corresponding crash or stall.
+type Handler func() error
+
+var (
+	active atomic.Int32 // number of registered handlers, the fast-path gate
+	mu     sync.RWMutex
+	table  = map[Point]Handler{}
+)
+
+// Set registers h at point p, replacing any previous handler, and
+// returns a restore function that removes it.  Tests should defer the
+// restore (or call Reset in cleanup).
+func Set(p Point, h Handler) (restore func()) {
+	mu.Lock()
+	if _, had := table[p]; !had {
+		active.Add(1)
+	}
+	table[p] = h
+	mu.Unlock()
+	return func() {
+		mu.Lock()
+		if _, had := table[p]; had {
+			delete(table, p)
+			active.Add(-1)
+		}
+		mu.Unlock()
+	}
+}
+
+// Reset removes every registered handler.
+func Reset() {
+	mu.Lock()
+	active.Add(-int32(len(table)))
+	table = map[Point]Handler{}
+	mu.Unlock()
+}
+
+// Fire consults the handler registered at p, if any.  With no handlers
+// registered anywhere it is a single atomic load.
+func Fire(p Point) error {
+	if active.Load() == 0 {
+		return nil
+	}
+	mu.RLock()
+	h := table[p]
+	mu.RUnlock()
+	if h == nil {
+		return nil
+	}
+	return h()
+}

@@ -1,0 +1,69 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisabledIsNil(t *testing.T) {
+	if err := Fire(RunExec); err != nil {
+		t.Fatalf("no handler, got %v", err)
+	}
+}
+
+func TestSetFireRestore(t *testing.T) {
+	want := errors.New("boom")
+	restore := Set(RunExec, func() error { return want })
+	if err := Fire(RunExec); !errors.Is(err, want) {
+		t.Fatalf("got %v", err)
+	}
+	if err := Fire(Marshal); err != nil {
+		t.Fatalf("unregistered point fired: %v", err)
+	}
+	restore()
+	if err := Fire(RunExec); err != nil {
+		t.Fatalf("after restore: %v", err)
+	}
+	if active.Load() != 0 {
+		t.Fatalf("active = %d after restore", active.Load())
+	}
+}
+
+func TestSetReplacesWithoutLeakingCount(t *testing.T) {
+	r1 := Set(Marshal, func() error { return errors.New("a") })
+	r2 := Set(Marshal, func() error { return errors.New("b") })
+	if got := Fire(Marshal); got == nil || got.Error() != "b" {
+		t.Fatalf("replacement not in effect: %v", got)
+	}
+	if active.Load() != 1 {
+		t.Fatalf("active = %d, want 1", active.Load())
+	}
+	r2()
+	r1() // second restore of the same point is a no-op
+	if active.Load() != 0 {
+		t.Fatalf("active = %d after restores", active.Load())
+	}
+}
+
+func TestReset(t *testing.T) {
+	Set(RunExec, func() error { return errors.New("x") })
+	Set(WorkerStall, func() error { return errors.New("y") })
+	Reset()
+	if active.Load() != 0 {
+		t.Fatalf("active = %d after Reset", active.Load())
+	}
+	if Fire(RunExec) != nil || Fire(WorkerStall) != nil {
+		t.Fatal("handlers survived Reset")
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	defer Reset()
+	Set(RunExec, func() error { panic("injected crash") })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic swallowed")
+		}
+	}()
+	Fire(RunExec)
+}

@@ -70,6 +70,9 @@ type Stats struct {
 	// Live is the number of contexts currently alive — idle in the pool
 	// or checked out — i.e. constructed and not discarded.
 	Live int
+	// Discarded counts contexts dropped instead of retained: idle-cap
+	// overflow on Put, plus explicit Discards after failed runs.
+	Discarded int
 }
 
 // Pool is a bounded freelist of run contexts keyed by canonical machine
@@ -153,9 +156,26 @@ func (p *Pool) Put(c *Ctx) {
 	p.idle++
 }
 
+// Discard drops a checked-out context permanently instead of returning
+// it to the freelist.  It is the mandatory return path for a context
+// whose run did not complete cleanly — above all an aborted (timed-out
+// or canceled) run: the engine, space, and machine were left mid-flight,
+// and the reset invariants of docs/INTERNALS.md §9 are only established
+// for state a run finished with.  Discarding costs the next run of that
+// configuration a fresh construction, which is exactly the price of not
+// reasoning about half-finished state.
+func (p *Pool) Discard(c *Ctx) {
+	if c == nil {
+		return
+	}
+	p.mu.Lock()
+	p.discarded++
+	p.mu.Unlock()
+}
+
 // Stats returns a snapshot of the pool's reuse counters.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return Stats{Hits: p.hits, Misses: p.misses, Live: p.created - p.discarded}
+	return Stats{Hits: p.hits, Misses: p.misses, Live: p.created - p.discarded, Discarded: p.discarded}
 }

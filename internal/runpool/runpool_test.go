@@ -104,3 +104,27 @@ func TestGetRejectsInvalidP(t *testing.T) {
 		t.Fatal("Get accepted a configuration with no processors")
 	}
 }
+
+// TestDiscard: a discarded context leaves the pool entirely — it is not
+// reusable, and the live count drops so leak checks see it gone.
+func TestDiscard(t *testing.T) {
+	p := New(0)
+	cfg := machine.Config{Kind: machine.Target, Topology: "mesh", P: 4}
+	c1, err := p.Get(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Discard(c1)
+	if st := p.Stats(); st.Live != 0 || st.Discarded != 1 {
+		t.Fatalf("after discard: %+v, want live 0, discarded 1", st)
+	}
+	c2, err := p.Get(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c1 {
+		t.Fatal("discarded context came back out of the pool")
+	}
+	p.Put(c2)
+	p.Discard(nil) // harmless
+}

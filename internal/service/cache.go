@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"encoding/json"
+	"time"
 
 	"spasm/internal/probe"
 	"spasm/internal/stats"
@@ -25,6 +26,10 @@ type entry struct {
 	doc   json.RawMessage
 	stats *stats.Run
 	err   string
+	// canceled marks a job dropped before execution because every
+	// waiter abandoned it; canceled entries are never cached (the
+	// outcome reflects client behaviour, not the spec).
+	canceled bool
 
 	prof      *probe.Profile
 	profBytes []byte
@@ -86,4 +91,71 @@ func (c *lru) add(e *entry) (evicted int) {
 // counters reports the cache statistics exported on /metrics.
 func (c *lru) counters() (hits, misses, evictions uint64, entries int) {
 	return c.hits, c.misses, c.evictions, c.ll.Len()
+}
+
+// negCache is the bounded, TTL'd side cache for failed runs.  Failures
+// are deterministic (a bad spec fails the same way every time), so they
+// are worth remembering — but they must not displace successful results
+// from the main LRU, and a failure caused by an operational limit (a
+// run timeout under a deadline the operator later raises) must not be
+// remembered forever.  Hence: a small separate capacity and an expiry.
+// Like lru it is not self-locking; every method runs under the owning
+// Server's mutex.
+type negCache struct {
+	max int
+	ttl time.Duration
+	ll  *list.List // front = newest; values are *negEntry
+	byID map[string]*list.Element
+
+	hits uint64
+}
+
+type negEntry struct {
+	e   *entry
+	exp time.Time
+}
+
+func newNegCache(max int, ttl time.Duration) *negCache {
+	return &negCache{max: max, ttl: ttl, ll: list.New(), byID: make(map[string]*list.Element)}
+}
+
+// get returns the failed entry for id if present and unexpired (expired
+// entries are dropped on sight).  When count is true the lookup charges
+// the negative-hit counter (the submit path); status polls pass false.
+func (c *negCache) get(id string, now time.Time, count bool) (*entry, bool) {
+	el, ok := c.byID[id]
+	if !ok {
+		return nil, false
+	}
+	ne := el.Value.(*negEntry)
+	if now.After(ne.exp) {
+		c.ll.Remove(el)
+		delete(c.byID, id)
+		return nil, false
+	}
+	if count {
+		c.hits++
+	}
+	return ne.e, true
+}
+
+// add inserts (or refreshes) a failed entry, restarting its TTL, and
+// evicts the oldest entries past capacity.
+func (c *negCache) add(e *entry, now time.Time) {
+	if el, ok := c.byID[e.id]; ok {
+		el.Value = &negEntry{e: e, exp: now.Add(c.ttl)}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byID[e.id] = c.ll.PushFront(&negEntry{e: e, exp: now.Add(c.ttl)})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byID, oldest.Value.(*negEntry).e.id)
+	}
+}
+
+// counters reports the negative-cache statistics exported on /metrics.
+func (c *negCache) counters() (hits uint64, entries int) {
+	return c.hits, c.ll.Len()
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"testing"
+	"time"
 )
 
 func TestLRUEviction(t *testing.T) {
@@ -58,5 +59,54 @@ func TestLRURefreshDoesNotEvict(t *testing.T) {
 	e, ok := c.get("a", false)
 	if !ok || e.err != "updated" {
 		t.Fatalf("refresh lost: %+v ok=%v", e, ok)
+	}
+}
+
+func TestNegCacheTTL(t *testing.T) {
+	c := newNegCache(4, time.Second)
+	now := time.Unix(100, 0)
+	c.add(&entry{id: "bad", err: "boom"}, now)
+	if e, ok := c.get("bad", now.Add(500*time.Millisecond), true); !ok || e.err != "boom" {
+		t.Fatalf("unexpired entry missing: %+v ok=%v", e, ok)
+	}
+	if _, ok := c.get("bad", now.Add(2*time.Second), true); ok {
+		t.Fatal("expired entry served")
+	}
+	// The expired entry was dropped on sight, not just hidden.
+	if _, entries := c.counters(); entries != 0 {
+		t.Fatalf("entries = %d after expiry, want 0", entries)
+	}
+	if hits, _ := c.counters(); hits != 1 {
+		t.Fatalf("hits = %d, want 1 (expired lookup must not count)", hits)
+	}
+}
+
+func TestNegCacheBounded(t *testing.T) {
+	c := newNegCache(2, time.Minute)
+	now := time.Unix(100, 0)
+	for i := 0; i < 3; i++ {
+		c.add(&entry{id: fmt.Sprintf("f%d", i), err: "x"}, now)
+	}
+	if _, entries := c.counters(); entries != 2 {
+		t.Fatalf("entries = %d, want 2 (bounded)", entries)
+	}
+	if _, ok := c.get("f0", now, false); ok {
+		t.Fatal("oldest failure survived the bound")
+	}
+	if _, ok := c.get("f2", now, false); !ok {
+		t.Fatal("newest failure evicted")
+	}
+}
+
+func TestNegCacheRefreshRestartsTTL(t *testing.T) {
+	c := newNegCache(4, time.Second)
+	t0 := time.Unix(100, 0)
+	c.add(&entry{id: "bad", err: "first"}, t0)
+	// Re-adding at t0+900ms restarts the clock; at t0+1.5s the entry is
+	// still alive (and carries the refreshed error).
+	c.add(&entry{id: "bad", err: "second"}, t0.Add(900*time.Millisecond))
+	e, ok := c.get("bad", t0.Add(1500*time.Millisecond), false)
+	if !ok || e.err != "second" {
+		t.Fatalf("refreshed entry: %+v ok=%v", e, ok)
 	}
 }

@@ -8,8 +8,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -20,6 +22,51 @@ import (
 	"spasm/internal/service"
 )
 
+// RetryPolicy bounds the client's transparent retries.  Retries are
+// safe for every spasmd endpoint: the API is content-addressed and
+// idempotent (resubmitting a spec coalesces or hits the cache), so a
+// request that failed in transit can always be replayed.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request (default 4;
+	// 1 disables retrying).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 50ms);
+	// subsequent delays double, with up to 50% random jitter so a
+	// thundering herd of clients decorrelates.
+	BaseDelay time.Duration
+	// MaxDelay caps each backoff step, including server Retry-After
+	// hints (default 2s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// delay computes the backoff before retry number attempt (0-based),
+// honoring the server's Retry-After hint when one came back.
+func (p RetryPolicy) delay(attempt int, hint time.Duration) time.Duration {
+	d := p.BaseDelay << attempt
+	if hint > 0 {
+		d = hint
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	// Up to 50% additive jitter; never below the base so a hinted delay
+	// stays at least as long as asked.
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
 // Client talks to one spasmd instance.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8347".
@@ -28,6 +75,15 @@ type Client struct {
 	HTTPClient *http.Client
 	// PollInterval paces Run's status polling (default 25ms).
 	PollInterval time.Duration
+	// Retry bounds the transparent retrying of transient failures —
+	// transport errors and HTTP 503 back-pressure.  The zero value
+	// retries with the defaults; set MaxAttempts to 1 to disable.
+	Retry RetryPolicy
+	// MaxPollFailures is how many consecutive transient GetRun failures
+	// Run tolerates before giving up (default 3).  Each poll already
+	// retries per Retry, so this guards against outages longer than one
+	// request's backoff budget.
+	MaxPollFailures int
 }
 
 // New returns a client for the server at base.
@@ -44,49 +100,118 @@ func (c *Client) httpClient() *http.Client {
 
 // apiError is the decoded {"error": ...} body of a failed request.
 type apiError struct {
-	Status int
-	Msg    string
+	Status     int
+	Msg        string
+	RetryAfter time.Duration // parsed Retry-After hint, 0 if absent
 }
 
 func (e *apiError) Error() string {
 	return fmt.Sprintf("spasmd: HTTP %d: %s", e.Status, e.Msg)
 }
 
-// do issues a request and decodes the JSON response into out (unless
-// out is nil).  Non-2xx responses become *apiError values.
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+// transient reports whether err is worth retrying: a transport-level
+// failure (connection refused/reset, broken pipe) or the server's own
+// 503 back-pressure.  Context expiry and hard API errors (4xx) are
+// final.
+func transient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.Status == http.StatusServiceUnavailable
+	}
+	return true // transport error
+}
+
+// retryAfterHint extracts the server's Retry-After suggestion, if any.
+func retryAfterHint(err error) time.Duration {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
+}
+
+// doRaw issues one request per attempt — the body is pre-marshaled so
+// every attempt replays identical bytes — retrying transient failures
+// per the client's RetryPolicy with context-bounded sleeps.  It returns
+// the raw response body; non-2xx responses become *apiError values.
+func (c *Client) doRaw(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	policy := c.Retry.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(policy.delay(attempt-1, retryAfterHint(lastErr)))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+		}
+		data, err := c.doOnce(ctx, method, path, body)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if !transient(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		rd = bytes.NewReader(b)
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if resp.StatusCode/100 != 2 {
+		ae := &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
 		var ed struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(data, &ed) == nil && ed.Error != "" {
-			return &apiError{Status: resp.StatusCode, Msg: ed.Error}
+			ae.Msg = ed.Error
 		}
-		return &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return nil, ae
+	}
+	return data, nil
+}
+
+// do issues a request (with retries) and decodes the JSON response into
+// out (unless out is nil).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var b []byte
+	if body != nil {
+		var err error
+		if b, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	data, err := c.doRaw(ctx, method, path, b)
+	if err != nil {
+		return err
 	}
 	if out == nil {
 		return nil
@@ -112,7 +237,14 @@ func (c *Client) GetRun(ctx context.Context, id string) (*service.RunStatus, err
 	return &st, nil
 }
 
-// Run submits a run and polls until it is done or failed (or ctx ends).
+// Run submits a run and polls until it reaches a terminal state — done,
+// failed, or canceled — or ctx ends.  A transient poll failure (server
+// briefly unreachable, 503 back-pressure past the per-request retry
+// budget) does not abandon the run: up to MaxPollFailures consecutive
+// failed polls are tolerated before the last error is returned, and any
+// successful poll resets the count.  The job keeps running server-side
+// either way — a poll-based client that returns early can always poll
+// again by ID.
 func (c *Client) Run(ctx context.Context, req service.RunRequest) (*service.RunStatus, error) {
 	st, err := c.SubmitRun(ctx, req)
 	if err != nil {
@@ -122,17 +254,34 @@ func (c *Client) Run(ctx context.Context, req service.RunRequest) (*service.RunS
 	if interval <= 0 {
 		interval = 25 * time.Millisecond
 	}
-	for st.State != service.StateDone && st.State != service.StateFailed {
+	maxFail := c.MaxPollFailures
+	if maxFail < 1 {
+		maxFail = 3
+	}
+	id, failures := st.ID, 0
+	for !terminal(st.State) {
 		select {
 		case <-ctx.Done():
 			return st, ctx.Err()
 		case <-time.After(interval):
 		}
-		if st, err = c.GetRun(ctx, st.ID); err != nil {
-			return nil, err
+		next, err := c.GetRun(ctx, id)
+		if err != nil {
+			if !transient(err) {
+				return nil, err
+			}
+			if failures++; failures >= maxFail {
+				return nil, fmt.Errorf("client: %d consecutive poll failures for run %s: %w", failures, id, err)
+			}
+			continue
 		}
+		st, failures = next, 0
 	}
 	return st, nil
+}
+
+func terminal(s service.State) bool {
+	return s == service.StateDone || s == service.StateFailed || s == service.StateCanceled
 }
 
 // DecodeResult unpacks a completed run's statistics document.
@@ -163,30 +312,7 @@ func (c *Client) Profile(ctx context.Context, id string) (*report.ProfileDoc, er
 // binary encoding — byte-identical across requests and across servers
 // for the same spec.  Decode it with spasm.DecodeProfile.
 func (c *Client) ProfileRaw(ctx context.Context, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.BaseURL+"/v1/runs/"+id+"/profile?format=bin", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode/100 != 2 {
-		var ed struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(data, &ed) == nil && ed.Error != "" {
-			return nil, &apiError{Status: resp.StatusCode, Msg: ed.Error}
-		}
-		return nil, &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
-	}
-	return data, nil
+	return c.doRaw(ctx, http.MethodGet, "/v1/runs/"+id+"/profile?format=bin", nil)
 }
 
 // SweepOpts narrows a figure or sweep request; zero values mean the
@@ -258,16 +384,7 @@ func (c *Client) Healthz(ctx context.Context) (*service.Health, error) {
 
 // Metrics fetches the raw metrics page.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
-	if err != nil {
-		return "", err
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	data, err := c.doRaw(ctx, http.MethodGet, "/metrics", nil)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,194 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spasm/internal/service"
+)
+
+// fastRetry keeps test backoffs in the microsecond range.
+var fastRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+
+func doneStatus(id string) service.RunStatus {
+	return service.RunStatus{ID: id, State: service.StateDone, Result: json.RawMessage(`{}`)}
+}
+
+// TestRetriesTransient503: a submission that bounces off back-pressure
+// twice succeeds on the third attempt, transparently.
+func TestRetriesTransient503(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1") // capped by MaxDelay, so the test stays fast
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"service: job queue full"}`))
+			return
+		}
+		json.NewEncoder(w).Encode(doneStatus("abc"))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = fastRetry
+	st, err := c.SubmitRun(context.Background(), service.RunRequest{App: "ep", P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone || calls.Load() != 3 {
+		t.Fatalf("state=%s calls=%d, want done after 3 attempts", st.State, calls.Load())
+	}
+}
+
+// TestGivesUpAfterMaxAttempts: a persistent 503 surfaces as the last
+// apiError once the attempt budget is exhausted.
+func TestGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"draining"}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = fastRetry
+	_, err := c.SubmitRun(context.Background(), service.RunRequest{App: "ep", P: 2})
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 apiError, got %v", err)
+	}
+	if calls.Load() != int64(fastRetry.MaxAttempts) {
+		t.Fatalf("calls = %d, want %d", calls.Load(), fastRetry.MaxAttempts)
+	}
+}
+
+// TestHardErrorsAreNotRetried: 4xx responses are final — retrying a bad
+// request would just repeat it.
+func TestHardErrorsAreNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"bad spec"}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = fastRetry
+	_, err := c.SubmitRun(context.Background(), service.RunRequest{App: "nope", P: 2})
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("want 400 apiError, got %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1 (no retries on 4xx)", calls.Load())
+	}
+}
+
+// TestRetrySleepsAreContextBounded: a canceled context cuts the backoff
+// short instead of sleeping it out.
+func TestRetrySleepsAreContextBounded(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := c.SubmitRun(ctx, service.RunRequest{App: "ep", P: 2})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if since := time.Since(t0); since > 5*time.Second {
+		t.Fatalf("backoff ignored ctx: slept %v", since)
+	}
+}
+
+// TestRunToleratesPollBlips: Run keeps polling through a transient
+// server hiccup — a run in flight is not abandoned because one status
+// poll failed.
+func TestRunToleratesPollBlips(t *testing.T) {
+	var gets atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			json.NewEncoder(w).Encode(service.RunStatus{ID: "abc", State: service.StatePending})
+			return
+		}
+		// Polls: every doOnce call fails until attempt 6 — deep enough
+		// that one GetRun's whole retry budget (4 attempts) is exhausted
+		// and Run's poll-failure tolerance has to absorb it.
+		if gets.Add(1) <= 6 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(doneStatus("abc"))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = fastRetry
+	c.PollInterval = time.Millisecond
+	st, err := c.Run(context.Background(), service.RunRequest{App: "ep", P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("state = %s, want done", st.State)
+	}
+}
+
+// TestRunGivesUpAfterConsecutivePollFailures: an outage outlasting the
+// tolerance budget surfaces the poll error instead of spinning forever.
+func TestRunGivesUpAfterConsecutivePollFailures(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			json.NewEncoder(w).Encode(service.RunStatus{ID: "abc", State: service.StatePending})
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	c.PollInterval = time.Millisecond
+	c.MaxPollFailures = 2
+	_, err := c.Run(context.Background(), service.RunRequest{App: "ep", P: 2})
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("want the final 503 wrapped, got %v", err)
+	}
+}
+
+// TestRunStopsOnCanceledState: a canceled job is terminal for Run.
+func TestRunStopsOnCanceledState(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			json.NewEncoder(w).Encode(service.RunStatus{ID: "abc", State: service.StatePending})
+			return
+		}
+		json.NewEncoder(w).Encode(service.RunStatus{ID: "abc", State: service.StateCanceled, Error: "canceled"})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = fastRetry
+	c.PollInterval = time.Millisecond
+	st, err := c.Run(context.Background(), service.RunRequest{App: "ep", P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateCanceled {
+		t.Fatalf("state = %s, want canceled", st.State)
+	}
+}

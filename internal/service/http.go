@@ -89,7 +89,10 @@ func (s *Server) submitStatus(w http.ResponseWriter, j *Job, hit bool, err error
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if hit {
+	// j.cached covers both cache flavours: positive hits (hit=true) and
+	// remembered failures served from the negative cache (hit=false but
+	// the job is already failed) — both are answered outright with 200.
+	if hit || j.cached {
 		writeJSON(w, http.StatusOK, statusFromEntry(j.entry, true))
 		return
 	}
@@ -228,12 +231,24 @@ func (s *Server) figureResult(r *http.Request, fig exp.Figure, opt exp.Options) 
 			PortMode: opt.PortMode,
 		}
 	}
-	// Pre-submit every point so the pool works them concurrently...
+	// Pre-submit every point so the pool works them concurrently.  The
+	// submissions are releasable waiters, all released when the figure
+	// request finishes: if the client disconnects (or one point errors
+	// the request out) before a point runs, the server cancels it
+	// instead of simulating for nobody.
+	var releases []func()
+	defer func() {
+		for _, r := range releases {
+			r()
+		}
+	}()
 	for _, kind := range opt.Machines {
 		for _, p := range opt.Procs {
-			if _, _, err := s.Submit(spec(kind, p)); err != nil {
+			_, _, release, err := s.SubmitWaited(spec(kind, p))
+			if err != nil {
 				return nil, err
 			}
+			releases = append(releases, release)
 		}
 	}
 	// ...then let the session collect them in figure order.

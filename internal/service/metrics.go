@@ -43,6 +43,8 @@ type Metrics struct {
 	coalesced     uint64
 	done          uint64
 	failed        uint64
+	canceled      uint64 // jobs dropped before execution (all waiters gone)
+	timeouts      uint64 // failed jobs whose failure was the run deadline
 	rejected      uint64 // submissions bounced with ErrQueueFull
 	profHits      uint64 // profiles served from the memoized encoding
 	profMiss      uint64 // profiles computed on demand
@@ -67,13 +69,22 @@ func (m *Metrics) jobCoalesced() {
 	m.mu.Unlock()
 }
 
-func (m *Metrics) jobFinished(ok bool) {
+func (m *Metrics) jobFinished(ok, timedOut bool) {
 	m.mu.Lock()
 	if ok {
 		m.done++
 	} else {
 		m.failed++
+		if timedOut {
+			m.timeouts++
+		}
 	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) jobCanceled() {
+	m.mu.Lock()
+	m.canceled++
 	m.mu.Unlock()
 }
 
@@ -119,7 +130,7 @@ func (m *Metrics) observe(path string, d time.Duration) {
 // render writes the metrics in the Prometheus text exposition format.
 // Cache, queue, and pool figures are passed in by the Server, which owns
 // them.
-func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evictions uint64, entries int, pool poolStats) {
+func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evictions uint64, entries int, negHits uint64, negEntries int, pool poolStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	fmt.Fprintf(b, "spasmd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
@@ -133,6 +144,8 @@ func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evict
 	fmt.Fprintf(b, "spasmd_jobs_coalesced_total %d\n", m.coalesced)
 	fmt.Fprintf(b, "spasmd_jobs_done_total %d\n", m.done)
 	fmt.Fprintf(b, "spasmd_jobs_failed_total %d\n", m.failed)
+	fmt.Fprintf(b, "spasmd_jobs_canceled_total %d\n", m.canceled)
+	fmt.Fprintf(b, "spasmd_jobs_timeout_total %d\n", m.timeouts)
 	fmt.Fprintf(b, "spasmd_jobs_rejected_total %d\n", m.rejected)
 	fmt.Fprintf(b, "spasmd_profile_cache_hits_total %d\n", m.profHits)
 	fmt.Fprintf(b, "spasmd_profile_cache_misses_total %d\n", m.profMiss)
@@ -141,9 +154,14 @@ func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evict
 	fmt.Fprintf(b, "spasmd_cache_misses_total %d\n", misses)
 	fmt.Fprintf(b, "spasmd_cache_evictions_total %d\n", evictions)
 	fmt.Fprintf(b, "spasmd_cache_entries %d\n", entries)
+	// negative_hits counts submissions answered a remembered failure —
+	// distinct from cache_hits, which stays a successes-only counter.
+	fmt.Fprintf(b, "spasmd_cache_negative_hits_total %d\n", negHits)
+	fmt.Fprintf(b, "spasmd_cache_negative_entries %d\n", negEntries)
 	fmt.Fprintf(b, "spasmd_pool_hits_total %d\n", pool.Hits)
 	fmt.Fprintf(b, "spasmd_pool_misses_total %d\n", pool.Misses)
 	fmt.Fprintf(b, "spasmd_pool_contexts_live %d\n", pool.Live)
+	fmt.Fprintf(b, "spasmd_pool_contexts_discarded_total %d\n", pool.Discarded)
 
 	paths := make([]string, 0, len(m.byPath))
 	for p := range m.byPath {
@@ -164,8 +182,8 @@ func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evict
 // poolStats mirrors the run-context pool's counters for rendering
 // without importing the pool type here.
 type poolStats struct {
-	Hits, Misses uint64
-	Live         int
+	Hits, Misses    uint64
+	Live, Discarded int
 }
 
 // Render returns the full metrics page; the Server method gathers the
@@ -173,10 +191,11 @@ type poolStats struct {
 func (s *Server) RenderMetrics() string {
 	s.mu.Lock()
 	hits, misses, evictions, entries := s.cache.counters()
+	negHits, negEntries := s.neg.counters()
 	s.mu.Unlock()
 	ps := s.pool.Stats()
 	var b strings.Builder
-	s.metrics.render(&b, s.QueueDepth(), hits, misses, evictions, entries,
-		poolStats{Hits: ps.Hits, Misses: ps.Misses, Live: ps.Live})
+	s.metrics.render(&b, s.QueueDepth(), hits, misses, evictions, entries, negHits, negEntries,
+		poolStats{Hits: ps.Hits, Misses: ps.Misses, Live: ps.Live, Discarded: ps.Discarded})
 	return b.String()
 }

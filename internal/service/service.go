@@ -36,6 +36,7 @@ import (
 	"sync"
 
 	"spasm"
+	"spasm/internal/faults"
 	"spasm/internal/probe"
 	"spasm/internal/report"
 	"spasm/internal/stats"
@@ -51,6 +52,21 @@ type Config struct {
 	// QueueDepth bounds the pending-job queue (default 1024); Submit
 	// fails with ErrQueueFull beyond it.
 	QueueDepth int
+	// RunTimeout bounds each job's wall-clock simulation time.  A run
+	// past the deadline is aborted cooperatively (every simulated
+	// process unwinds, nothing leaks) and the job fails with a timeout
+	// error; its pooled run context is discarded rather than reused.
+	// Zero (the default) means unbounded.
+	RunTimeout time.Duration
+	// NegativeCacheSize bounds the failed-result side cache, in entries
+	// (default 64).  Failures are kept apart from successes so a burst
+	// of bad specs cannot evict good results.
+	NegativeCacheSize int
+	// NegativeTTL is how long a cached failure is served before the
+	// spec is retried (default 30s).  Deterministic failures come back
+	// identical; failures caused by operational limits (timeouts) age
+	// out and get a fresh chance.
+	NegativeTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +78,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth < 1 {
 		c.QueueDepth = 1024
+	}
+	if c.NegativeCacheSize < 1 {
+		c.NegativeCacheSize = 64
+	}
+	if c.NegativeTTL <= 0 {
+		c.NegativeTTL = 30 * time.Second
 	}
 	return c
 }
@@ -75,6 +97,10 @@ const (
 	StateRunning State = "running"
 	StateDone    State = "done"
 	StateFailed  State = "failed"
+	// StateCanceled marks a job dropped before execution because every
+	// waiter abandoned it (see SubmitWaited).  Canceled outcomes are
+	// never cached: they reflect client behaviour, not the spec.
+	StateCanceled State = "canceled"
 )
 
 // Submission errors.
@@ -103,6 +129,18 @@ type Job struct {
 	state State
 	entry *entry
 	done  chan struct{}
+
+	// cached marks a job answered straight from a cache — positive or
+	// negative — so the HTTP layer can report 200 instead of 202.
+	cached bool
+	// waiters and pinned drive pre-execution cancellation: waiters
+	// counts the SubmitWaited registrations still attached, and pinned
+	// marks a job with at least one plain Submit (poll-based clients
+	// never release, so their jobs are never canceled).  A pending job
+	// whose last waiter releases — and that is not pinned — is dropped
+	// before it burns a worker.  Guarded by the Server's mutex.
+	waiters int
+	pinned  bool
 }
 
 // ID returns the job's content address (the spec's SHA-256).
@@ -126,7 +164,8 @@ type Server struct {
 
 	mu         sync.Mutex
 	active     map[string]*Job // pending + running jobs by ID
-	cache      *lru            // completed results (also guarded by mu)
+	cache      *lru            // completed successes (also guarded by mu)
+	neg        *negCache       // completed failures, bounded + TTL'd (also guarded by mu)
 	queue      chan *Job
 	draining   bool
 	profFlight map[string]chan struct{} // in-flight profile computations by ID
@@ -151,6 +190,7 @@ func New(cfg Config) *Server {
 		metrics:    newMetrics(time.Now(), cfg.Workers),
 		active:     make(map[string]*Job),
 		cache:      newLRU(cfg.CacheSize),
+		neg:        newNegCache(cfg.NegativeCacheSize, cfg.NegativeTTL),
 		queue:      make(chan *Job, cfg.QueueDepth),
 		profFlight: make(map[string]chan struct{}),
 		pool:       spasm.NewRunPool(idle),
@@ -163,10 +203,35 @@ func New(cfg Config) *Server {
 }
 
 // Submit registers a run for execution and returns its job plus whether
-// the result was served from the cache.  An invalid spec fails
-// immediately; an identical in-flight submission coalesces onto the
-// existing job; a cached result returns a completed job at once.
+// the result was served from the (positive) cache.  An invalid spec
+// fails immediately; an identical in-flight submission coalesces onto
+// the existing job; a cached result returns a completed job at once —
+// successes report hit=true, remembered failures report hit=false with
+// the job already failed and Job.cached set.  Jobs submitted this way
+// are pinned: they execute even if every waiting client goes away
+// (poll-based clients never signal departure).
 func (s *Server) Submit(spec spasm.Spec) (job *Job, hit bool, err error) {
+	return s.submit(spec, true)
+}
+
+// SubmitWaited is Submit for clients that stay attached to the result:
+// it registers the caller as a waiter and returns a release function
+// the caller must invoke exactly once when it stops caring (normally
+// deferred).  A pending job whose waiters all release — and that no
+// plain Submit pinned — is canceled before it reaches a worker: its
+// state becomes StateCanceled, Done closes, and nothing is cached.
+// Jobs already running are never canceled (the simulation's cost is
+// sunk; its deterministic result is worth keeping).
+func (s *Server) SubmitWaited(spec spasm.Spec) (job *Job, hit bool, release func(), err error) {
+	j, hit, err := s.submit(spec, false)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	var once sync.Once
+	return j, hit, func() { once.Do(func() { s.releaseWaiter(j) }) }, nil
+}
+
+func (s *Server) submit(spec spasm.Spec, pin bool) (job *Job, hit bool, err error) {
 	spec = spec.Canonical()
 	if err := spec.Validate(); err != nil {
 		return nil, false, &RequestError{Err: err}
@@ -175,24 +240,37 @@ func (s *Server) Submit(spec spasm.Spec) (job *Job, hit bool, err error) {
 
 	s.mu.Lock()
 	if j, ok := s.active[id]; ok {
+		if pin {
+			j.pinned = true
+		} else {
+			j.waiters++
+		}
 		s.mu.Unlock()
 		s.metrics.jobCoalesced()
 		return j, false, nil
 	}
 	if e, ok := s.cache.get(id, true); ok {
 		s.mu.Unlock()
-		j := &Job{id: id, spec: spec, req: RequestFromSpec(spec), entry: e, done: closedChan}
+		j := &Job{id: id, spec: spec, req: RequestFromSpec(spec), entry: e, done: closedChan, cached: true}
 		j.state = StateDone
-		if e.err != "" {
-			j.state = StateFailed
-		}
 		return j, true, nil
+	}
+	if e, ok := s.neg.get(id, time.Now(), true); ok {
+		s.mu.Unlock()
+		j := &Job{id: id, spec: spec, req: RequestFromSpec(spec), entry: e, done: closedChan, cached: true}
+		j.state = StateFailed
+		return j, false, nil
 	}
 	if s.draining {
 		s.mu.Unlock()
 		return nil, false, ErrDraining
 	}
 	j := &Job{id: id, spec: spec, req: RequestFromSpec(spec), state: StatePending, done: make(chan struct{})}
+	if pin {
+		j.pinned = true
+	} else {
+		j.waiters = 1
+	}
 	select {
 	case s.queue <- j:
 	default:
@@ -206,29 +284,61 @@ func (s *Server) Submit(spec spasm.Spec) (job *Job, hit bool, err error) {
 	return j, false, nil
 }
 
+// releaseWaiter detaches one SubmitWaited registration from j.  When
+// the last waiter of an unpinned, still-pending job departs, the job is
+// canceled in place: it leaves the active set (so a later identical
+// submission starts fresh), its Done closes, and its carcass stays in
+// the queue channel for the worker to skip.  Nothing is cached.
+func (s *Server) releaseWaiter(j *Job) {
+	s.mu.Lock()
+	j.waiters--
+	if j.waiters > 0 || j.pinned || j.state != StatePending {
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateCanceled
+	j.entry = &entry{id: j.id, req: j.req, err: "canceled: every waiter abandoned the job before execution", canceled: true}
+	delete(s.active, j.id)
+	s.mu.Unlock()
+	close(j.done)
+	s.metrics.jobCanceled()
+}
+
 // worker executes queued jobs until the queue closes at shutdown.
+// Canceled carcasses still sitting in the queue channel are skipped:
+// the state check under the mutex is the commit point — releaseWaiter
+// only cancels jobs still StatePending, so once a worker has marked a
+// job running it owns it to completion.
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for job := range s.queue {
-		s.metrics.workerBusy(1)
+		faults.Fire(faults.WorkerStall)
 		s.mu.Lock()
+		if job.state != StatePending {
+			s.mu.Unlock()
+			continue
+		}
 		job.state = StateRunning
 		s.mu.Unlock()
+		s.metrics.workerBusy(1)
 
 		e := &entry{id: job.id, req: job.req}
-		res, err := runSpecSafely(job.spec, s.pool)
+		res, err := runSpecSafely(job.spec, s.pool, s.cfg.RunTimeout)
 		if err == nil {
-			var doc []byte
-			doc, err = json.Marshal(report.RunJSON(res))
-			if err == nil {
-				e.doc = doc
-				e.stats = res.Stats
+			if err = faults.Fire(faults.Marshal); err == nil {
+				var doc []byte
+				doc, err = json.Marshal(report.RunJSON(res))
+				if err == nil {
+					e.doc = doc
+					e.stats = res.Stats
+				}
 			}
 		}
+		timedOut := errors.Is(err, spasm.ErrRunTimeout)
 		if err != nil {
 			e.err = err.Error()
 		}
-		s.finish(job, e)
+		s.finish(job, e, timedOut)
 		s.metrics.workerBusy(-1)
 	}
 }
@@ -236,33 +346,42 @@ func (s *Server) worker() {
 // runSpecSafely shields the daemon from panicking simulations: invalid
 // topology/processor combinations (and any future simulator bug) fail
 // the one job — deterministically, so the failure is cacheable — rather
-// than killing the server.  Runs execute on the server's context pool;
-// pooled runs are bit-identical to fresh ones, and the RunDoc the worker
-// stores is derived from the result's freshly allocated statistics, so
-// nothing cached aliases pooled state.
-func runSpecSafely(spec spasm.Spec, pool *spasm.RunPool) (res *spasm.Result, err error) {
+// than killing the server.  Runs execute on the server's context pool
+// under the configured wall-clock deadline; pooled runs are bit-identical
+// to fresh ones, and the RunDoc the worker stores is derived from the
+// result's freshly allocated statistics, so nothing cached aliases
+// pooled state.  A run that fails — aborted, panicked, or otherwise —
+// discards its pooled context instead of returning it (half-finished
+// simulation state never re-enters the pool).
+func runSpecSafely(spec spasm.Spec, pool *spasm.RunPool, timeout time.Duration) (res *spasm.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("run panicked: %v", r)
 		}
 	}()
-	return spasm.RunSpecOn(spec, pool)
+	if err := faults.Fire(faults.RunExec); err != nil {
+		return nil, err
+	}
+	return spasm.RunSpecControlled(spec, pool, spasm.RunControl{Timeout: timeout})
 }
 
-// finish publishes a job's result: into the cache, out of the active
-// set, and to anyone blocked on Done.
-func (s *Server) finish(job *Job, e *entry) {
+// finish publishes a job's result: successes into the result cache,
+// failures into the bounded negative cache, the job out of the active
+// set, and the outcome to anyone blocked on Done.
+func (s *Server) finish(job *Job, e *entry, timedOut bool) {
 	s.mu.Lock()
 	job.entry = e
-	job.state = StateDone
 	if e.err != "" {
 		job.state = StateFailed
+		s.neg.add(e, time.Now())
+	} else {
+		job.state = StateDone
+		s.cache.add(e)
 	}
-	s.cache.add(e)
 	delete(s.active, job.id)
 	s.mu.Unlock()
 	close(job.done)
-	s.metrics.jobFinished(e.err == "")
+	s.metrics.jobFinished(e.err == "", timedOut)
 }
 
 // Wait blocks until the job completes or ctx is cancelled, then returns
@@ -277,7 +396,8 @@ func (s *Server) Wait(ctx context.Context, j *Job) (RunStatus, error) {
 }
 
 // Status reports a job by ID: an active (pending/running) job, or a
-// completed one still in the result cache.
+// completed one still in the result cache (successes) or the negative
+// cache (unexpired failures).
 func (s *Server) Status(id string) (RunStatus, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -287,17 +407,24 @@ func (s *Server) Status(id string) (RunStatus, bool) {
 	if e, ok := s.cache.get(id, false); ok {
 		return statusFromEntry(e, false), true
 	}
+	if e, ok := s.neg.get(id, time.Now(), false); ok {
+		return statusFromEntry(e, false), true
+	}
 	return RunStatus{}, false
 }
 
 // runStats submits a spec (deduplicated and cached like any other
 // submission) and blocks for its statistics — the execution path behind
 // figure and sweep requests, injected into exp.Session as its Runner.
+// It registers as a releasable waiter: when the request's context dies
+// before the job runs, the release lets the server cancel the pending
+// work instead of simulating for nobody.
 func (s *Server) runStats(ctx context.Context, spec spasm.Spec) (*stats.Run, error) {
-	j, _, err := s.Submit(spec)
+	j, _, release, err := s.SubmitWaited(spec)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	select {
 	case <-j.done:
 	case <-ctx.Done():
@@ -332,6 +459,10 @@ func (s *Server) Profile(id string) (*probe.Profile, []byte, error) {
 		}
 		e, ok := s.cache.get(id, false)
 		if !ok {
+			if ne, negOK := s.neg.get(id, time.Now(), false); negOK {
+				s.mu.Unlock()
+				return nil, nil, fmt.Errorf("service: run %s failed: %s", id[:12], ne.err)
+			}
 			s.mu.Unlock()
 			return nil, nil, ErrUnknownRun
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // event is a scheduled resumption of a process.
@@ -102,6 +103,19 @@ type Engine struct {
 	running *Proc
 	failure error // first process panic, converted to a run error
 
+	// stop is the cooperative abort flag, the only engine state that may
+	// be touched from outside the simulation (see Interrupt).  It is
+	// polled at every dispatch, so an interrupted run aborts within one
+	// event.
+	stop atomic.Bool
+	// aborting marks the unwind phase: the run's outcome is decided and
+	// every remaining process is being resumed one final time so it can
+	// unwind (panic with abortSignal) and terminate.  Unwinding instead
+	// of abandoning parked goroutines is what makes failed runs — panics,
+	// deadlocks, time limits, aborts — leak no goroutines.
+	aborting bool
+	abortErr error // the run result recorded when the unwind began
+
 	// Events counts every event dispatched by Run.  It is the
 	// simulator-cost metric used by the paper's "speed of simulation"
 	// comparison (more simulated events = slower simulation).
@@ -134,10 +148,12 @@ func NewEngine() *Engine {
 // (Tick, MaxTime) are cleared too: they are configuration of one run,
 // not of the engine.
 //
-// Reset must not be called while Run is in flight.  After a failed run
-// (deadlock, panic, time limit) any still-parked process goroutines from
-// the old run are orphaned exactly as they would be with a fresh engine;
-// they hold no reference the reset engine will ever touch.
+// Reset must not be called while Run is in flight.  A failed run
+// (deadlock, panic, time limit, Interrupt) unwinds every process
+// goroutine before Run returns, so nothing from the old run survives —
+// but its mid-flight machine and address-space state may, which is why
+// pooled contexts whose run did not complete cleanly are discarded
+// rather than reset (see internal/runpool.Pool.Discard).
 func (e *Engine) Reset() {
 	for i := range e.heap.s {
 		e.heap.s[i] = event{}
@@ -160,10 +176,26 @@ func (e *Engine) Reset() {
 	e.Events = 0
 	e.MaxTime = 0
 	e.Tick = nil
+	e.stop.Store(false)
+	e.aborting = false
+	e.abortErr = nil
 	// The done channel may hold an unread result if the previous run was
 	// abandoned; a fresh channel is cheaper than reasoning about drains.
 	e.done = make(chan error, 1)
 }
+
+// Interrupt requests a cooperative abort of the in-flight Run.  It is
+// the only Engine method safe to call from another goroutine while Run
+// executes: it sets an atomic flag the dispatch loop polls, so the run
+// aborts at the next event.  The engine then wakes every remaining
+// process once so its goroutine can unwind and terminate — an aborted
+// Run returns an *AbortError only after all process goroutines have
+// exited, leaking none.  Interrupting an engine whose Run has already
+// returned is a harmless no-op (Reset clears the flag).
+func (e *Engine) Interrupt() { e.stop.Store(true) }
+
+// Interrupted reports whether an abort has been requested.
+func (e *Engine) Interrupted() bool { return e.stop.Load() }
 
 // Now reports the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -224,9 +256,18 @@ func (e *Engine) next() (event, bool) {
 // goroutine with no channel handoff at all; otherwise it either resumes
 // the target process (one channel send) or ends the run.
 func (e *Engine) advance(cur *Proc) bool {
+	if !e.aborting && e.stop.Load() {
+		e.beginAbort(&AbortError{At: e.now})
+	}
 	for {
 		ev, ok := e.next()
 		if !ok {
+			if !e.aborting && e.nLive > 0 {
+				// Deadlock: record it, then unwind the blocked processes
+				// instead of abandoning their goroutines.
+				e.beginAbort(e.deadlock())
+				continue
+			}
 			e.endRun(e.runResult())
 			return false
 		}
@@ -234,13 +275,12 @@ func (e *Engine) advance(cur *Proc) bool {
 			continue // stale wakeup, superseded at push time
 		}
 		if ev.at > e.now {
-			if e.Tick != nil {
+			if e.Tick != nil && !e.aborting {
 				e.Tick(ev.at)
 			}
 			e.now = ev.at
-			if e.MaxTime > 0 && e.now > e.MaxTime {
-				e.endRun(&TimeLimitError{Limit: e.MaxTime, At: e.now})
-				return false
+			if !e.aborting && e.MaxTime > 0 && e.now > e.MaxTime {
+				e.beginAbort(&TimeLimitError{Limit: e.MaxTime, At: e.now})
 			}
 		}
 		e.Events++
@@ -255,6 +295,25 @@ func (e *Engine) advance(cur *Proc) bool {
 	}
 }
 
+// beginAbort starts the unwind phase: the run's outcome (reason, or the
+// first process failure) is fixed, and every parked process is scheduled
+// one last wakeup so its goroutine can unwind.  Processes waiting on
+// their own queued events need no help — dispatch reaches them — and
+// once aborting is set, any resumed process panics with abortSignal
+// inside block() before it can touch application state again.  The run
+// ends when the queue drains with every process terminated.
+func (e *Engine) beginAbort(reason error) {
+	e.aborting = true
+	if e.abortErr == nil && reason != nil {
+		e.abortErr = reason
+	}
+	for _, p := range e.procs {
+		if !p.terminated && p.parked {
+			e.schedule(e.now, p)
+		}
+	}
+}
+
 // endRun publishes the run result.  The done channel is buffered so the
 // publisher (possibly Run's own goroutine, when no process was ever
 // spawned) never blocks.
@@ -263,9 +322,16 @@ func (e *Engine) endRun(err error) {
 	e.done <- err
 }
 
-// runResult classifies a drained event queue: success if every process
-// terminated, deadlock otherwise.
+// runResult classifies a finished run: the first process failure wins,
+// then the recorded abort reason (interrupt, time limit, or deadlock),
+// then success.
 func (e *Engine) runResult() error {
+	if e.failure != nil {
+		return e.failure
+	}
+	if e.abortErr != nil {
+		return e.abortErr
+	}
 	if e.nLive > 0 {
 		return e.deadlock()
 	}
@@ -287,19 +353,28 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 	go func() {
 		<-p.resume // wait for the engine to dispatch our start event
 		defer func() {
-			if r := recover(); r != nil && e.failure == nil {
-				e.failure = fmt.Errorf("sim: process %q panicked at %v: %v", p.Name, e.now, r)
+			if r := recover(); r != nil {
+				// Panics raised after the abort began are collateral of
+				// the unwind (cleanup defers running against torn-down
+				// state), not independent failures: recording them would
+				// mask the abort's own error.
+				if _, unwind := r.(abortSignal); !unwind && !e.aborting && e.failure == nil {
+					e.failure = fmt.Errorf("sim: process %q panicked at %v: %v", p.Name, e.now, r)
+				}
 			}
 			p.terminated = true
 			p.gen++ // any still-queued wakeup for p is now stale
 			e.nLive--
-			if e.failure != nil {
-				e.endRun(e.failure)
-				return
+			if e.failure != nil && !e.aborting {
+				// A panic fails the run, but the remaining processes are
+				// unwound — not abandoned — before Run reports it.
+				e.beginAbort(nil)
 			}
 			e.advance(p) // pass the run token on; goroutine exits
 		}()
-		fn(p)
+		if !e.aborting {
+			fn(p)
+		}
 	}()
 	e.schedule(e.now, p)
 	return p
@@ -352,3 +427,21 @@ type TimeLimitError struct {
 func (t *TimeLimitError) Error() string {
 	return fmt.Sprintf("sim: simulated time %v exceeded the %v limit", t.At, t.Limit)
 }
+
+// AbortError reports that the run was aborted by Interrupt — the
+// cooperative cancellation path used for wall-clock run timeouts and
+// abandoned jobs.  By the time Run returns it, every process goroutine
+// has unwound and exited.
+type AbortError struct {
+	// At is the simulated time at which the abort was observed.
+	At Time
+}
+
+func (a *AbortError) Error() string {
+	return fmt.Sprintf("sim: run aborted at %v", a.At)
+}
+
+// abortSignal is the panic value used to unwind process goroutines once
+// a run is aborting.  It is recovered (and recognized) by Spawn's
+// termination handler and never escapes the engine.
+type abortSignal struct{}

@@ -49,11 +49,23 @@ func (p *Proc) Horizon() Time {
 // block dispatches the next event and waits to be resumed.  When the
 // next event belongs to p itself, advance returns with the run token
 // still here and block returns immediately — no goroutine handoff.
+//
+// If the run began aborting while p was blocked, the resumption is the
+// process's last: block panics with abortSignal so the goroutine
+// unwinds out of the application code and terminates (Spawn's handler
+// recognizes the signal), instead of running on inside a dead
+// simulation.
 func (p *Proc) block() {
 	if p.eng.advance(p) {
+		if p.eng.aborting {
+			panic(abortSignal{})
+		}
 		return
 	}
 	<-p.resume
+	if p.eng.aborting {
+		panic(abortSignal{})
+	}
 }
 
 // Defer advances the process's local clock by d without scheduling an
@@ -120,8 +132,15 @@ func (p *Proc) Park() {
 
 // Wake schedules a parked process to resume at the current simulated
 // time.  Waking a process that is not parked panics: that is always a
-// bookkeeping bug in a synchronization object.
+// bookkeeping bug in a synchronization object — except while the run is
+// aborting, when Wake is a no-op: the engine has already scheduled every
+// parked process for its final unwind resumption, and deferred cleanup
+// in unwinding application frames (lock releases, barrier exits) may
+// legitimately try to wake peers that are no longer parked.
 func (p *Proc) Wake() {
+	if p.eng.aborting {
+		return
+	}
 	if !p.parked {
 		panic(fmt.Sprintf("sim: Wake of non-parked process %q", p.Name))
 	}

@@ -40,6 +40,11 @@
 // Custom applications implement the Program interface against the Proc
 // API (Compute, Read, Write, locks, flags, barriers); see
 // examples/custom_app.
+//
+// Long-running or abandoned simulations can be contained with
+// RunSpecControlled and RunControl: a wall-clock Timeout or a Cancel
+// channel cooperatively aborts the run (ErrRunTimeout, ErrRunCanceled),
+// unwinding every simulated-process goroutine before returning.
 package spasm
 
 import (
