@@ -86,13 +86,12 @@ func RunSpecControlled(spec Spec, pool *RunPool, ctl RunControl) (*Result, error
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	prog, err := apps.New(spec.App, spec.Scale, spec.Seed)
+	if spec.Adaptive {
+		return runAdaptive(spec, pool, ctl)
+	}
+	prog, err := newProgram(spec)
 	if err != nil {
-		var extErr error
-		prog, extErr = apps.NewExtended(spec.App, spec.Scale, spec.Seed)
-		if extErr != nil {
-			return nil, err
-		}
+		return nil, err
 	}
 	return app.RunPooledControlled(prog, spec.Config(), pool, ctl)
 }

@@ -69,7 +69,7 @@ func BenchmarkFig20_CHOLESKY_Mesh_Contention(b *testing.B) { benchFigure(b, 20) 
 // section-7 "Speed of Simulation" comparison.  ns/op IS the result here:
 // compare the three sub-benchmarks.
 func BenchmarkSimulationCost(b *testing.B) {
-	for _, kind := range []Kind{Target, CLogP, LogP} {
+	for _, kind := range []Kind{Target, CLogP, LogP, Flow} {
 		kind := kind
 		b.Run(kind.String(), func(b *testing.B) {
 			var events uint64
@@ -88,6 +88,53 @@ func BenchmarkSimulationCost(b *testing.B) {
 			b.ReportMetric(float64(events), "sim_events")
 		})
 	}
+}
+
+// BenchmarkFidelitySweep runs the fidelity-comparison study — the full
+// application suite on the flow, LogP, and detailed network tiers — at
+// 64 processors, and reports both cost axes of the comparison:
+//
+//   - engine events (sim_events_*): the discrete events the simulation
+//     kernel dispatched, dominated by the application's own references;
+//   - network-model events (net_events_*): each tier's own unit of
+//     network work — per-hop resource reservations for the detailed
+//     fabric, bandwidth-allocation recomputations for the flow tier.
+//
+// event_ratio is detailed/flow on the network-model axis: the flow
+// tier's whole point is that an uncontended flow costs zero allocation
+// work and a contended one costs a single recomputation, while the
+// per-hop model pays len(route)+2 reservations for every message
+// regardless of load.  The study runs on the mesh, where detailed
+// routes are longest and the per-hop tier works hardest.
+func BenchmarkFidelitySweep(b *testing.B) {
+	const p = 64
+	var rows []FidelityRow
+	for i := 0; i < b.N; i++ {
+		s := NewSession(Options{Scale: Small})
+		var err error
+		rows, err = s.FidelityStudy("mesh", p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var tgtNet, flNet uint64
+	var flErr float64
+	for _, r := range rows {
+		tgtNet += r.TargetNetEvents
+		flNet += r.FlowNetEvents
+		if e := r.FlowErrPct; e < 0 {
+			flErr += -e
+		} else {
+			flErr += e
+		}
+	}
+	if flNet == 0 {
+		flNet = 1
+	}
+	b.ReportMetric(float64(tgtNet), "net_events_target")
+	b.ReportMetric(float64(flNet), "net_events_flow")
+	b.ReportMetric(float64(tgtNet)/float64(flNet), "event_ratio")
+	b.ReportMetric(flErr/float64(len(rows)), "flow_abs_err_pct")
 }
 
 // BenchmarkSweepThroughput measures end-to-end sweep throughput on a

@@ -43,6 +43,7 @@ func main() {
 		format   = flag.String("format", "table,chart", "comma list of table, chart, csv")
 		outDir   = flag.String("out", "", "write per-figure files to this directory")
 		speed    = flag.Bool("speed", false, "run the simulation-cost comparison (S1)")
+		fidelity = flag.Bool("fidelity", false, "run the network-fidelity comparison (flow vs logp vs detailed, S4)")
 		ablation = flag.Bool("ablation", false, "run the g-discipline ablation (S2)")
 		gtable   = flag.Bool("gtable", false, "print the g-parameter table (S3)")
 		onlyText = flag.Bool("no-figures", false, "skip the numbered figures")
@@ -125,6 +126,11 @@ func main() {
 	}
 	if *speed {
 		if err := printSpeed(s, procs); err != nil {
+			fail(err)
+		}
+	}
+	if *fidelity {
+		if err := printFidelity(s, *adHocTop, procs); err != nil {
 			fail(err)
 		}
 	}
@@ -247,6 +253,27 @@ func printSpeed(s *spasm.Session, procs []int) error {
 	if target > 0 {
 		fmt.Printf("event ratio: clogp/target = %.2f, logp/target = %.2f\n",
 			clogp/target, logp/target)
+	}
+	fmt.Println()
+	return nil
+}
+
+// printFidelity runs the network-fidelity comparison: every suite
+// application on the flow, LogP, and detailed tiers at the largest
+// sweep point, reporting each abstraction's execution-time error and
+// the flow tier's model-event reduction.
+func printFidelity(s *spasm.Session, topo string, procs []int) error {
+	p := procs[len(procs)-1]
+	rows, err := s.FidelityStudy(topo, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network fidelity — flow vs logp vs detailed on %s at p=%d:\n", topo, p)
+	fmt.Printf("%10s %12s %12s %12s %9s %9s %10s\n",
+		"app", "target_us", "flow_us", "logp_us", "flow_err", "logp_err", "evt_ratio")
+	for _, r := range rows {
+		fmt.Printf("%10s %12.1f %12.1f %12.1f %8.1f%% %8.1f%% %9.1fx\n",
+			r.App, r.TargetUS, r.FlowUS, r.LogPUS, r.FlowErrPct, r.LogPErrPct, r.EventRatio)
 	}
 	fmt.Println()
 	return nil

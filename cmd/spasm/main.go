@@ -5,8 +5,10 @@
 //
 //	spasm -app fft -machine target -topo mesh -p 16 -scale small
 //
-// Machines: ideal, logp, clogp, target.  Topologies: full, cube, mesh,
-// ring, torus.
+// Machines: ideal, flow, logp, clogp, target.  Topologies: full, cube,
+// mesh, ring, torus.  With -adaptive the run starts on the flow tier
+// and escalates to the detailed target machine when a flow's occupancy
+// reaches -escalate percent.
 package main
 
 import (
@@ -16,18 +18,21 @@ import (
 	"os"
 
 	"spasm"
+	"spasm/internal/report"
 	"spasm/internal/stats"
 )
 
 func main() {
 	var (
 		appName = flag.String("app", "fft", "application: cg, cholesky, ep, fft, is (or extended: mg)")
-		machStr = flag.String("machine", "target", "machine: ideal, logp, clogp, target")
+		machStr = flag.String("machine", "target", "machine: ideal, flow, logp, clogp, target")
 		topo    = flag.String("topo", "full", "topology: full, cube, mesh, ring, torus")
 		p       = flag.Int("p", 8, "processors (power of two, <= 64)")
 		scale   = flag.String("scale", "small", "problem scale: tiny, small, medium")
 		seed    = flag.Int64("seed", 1, "synthetic-input seed")
 		perCls  = flag.Bool("perclass", false, "use per-event-class g gap (LogP machines)")
+		adapt   = flag.Bool("adaptive", false, "adaptive fidelity: start on the flow tier, escalate to target on contention (implies -machine flow)")
+		escPct  = flag.Int("escalate", 50, "with -adaptive: occupancy percent that trips escalation (0-100)")
 		verbose = flag.Bool("v", false, "per-processor breakdown")
 		phases  = flag.Bool("phases", false, "per-phase overhead breakdown")
 		asJSON  = flag.Bool("json", false, "machine-readable output")
@@ -50,7 +55,16 @@ func main() {
 
 	var res *spasm.Result
 	var prof *spasm.Profile
-	if *profile != "" {
+	if *adapt {
+		spec := spasm.Spec{App: *appName, Scale: sc, Seed: *seed, Machine: spasm.Flow,
+			Topology: *topo, P: *p, PortMode: cfg.PortMode,
+			Adaptive: true, EscalatePct: *escPct}
+		if *profile != "" {
+			res, prof, err = spasm.RunSpecProfiled(spec)
+		} else {
+			res, err = spasm.RunSpec(spec)
+		}
+	} else if *profile != "" {
 		res, prof, err = spasm.RunProfiled(*appName, sc, *seed, cfg)
 	} else {
 		res, err = spasm.Run(*appName, sc, *seed, cfg)
@@ -115,7 +129,10 @@ type jsonRun struct {
 	Messages   uint64             `json:"messages"`
 	NetBytes   uint64             `json:"net_bytes"`
 	SimEvents  uint64             `json:"sim_events"`
+	NetEvents  uint64             `json:"net_model_events"`
 	WallMillis float64            `json:"wall_ms"`
+
+	Escalation *report.EscalationDoc `json:"escalation,omitempty"`
 }
 
 func printJSON(res *spasm.Result) {
@@ -140,8 +157,10 @@ func printJSON(res *spasm.Result) {
 		Messages:   r.Messages(),
 		NetBytes:   r.Count(func(p *stats.Proc) uint64 { return p.NetBytes }),
 		SimEvents:  r.SimEvents,
+		NetEvents:  r.NetEvents,
 		WallMillis: float64(r.Wall.Microseconds()) / 1000,
 	}
+	out.Escalation = report.RunJSON(res).Escalation
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
@@ -168,6 +187,15 @@ func printRun(res *spasm.Result, verbose bool) {
 		r.Count(func(p *stats.Proc) uint64 { return p.NetBytes }),
 		r.NetAccesses())
 	fmt.Printf("  simulation     : %d events in %v\n", r.SimEvents, r.Wall)
+	if esc := res.Escalation; esc != nil {
+		if esc.Tripped {
+			fmt.Printf("  fidelity       : escalated %v -> %v at t=%.1f us (share %d, threshold %d%%)\n",
+				esc.From, esc.To, esc.At.Micros(), esc.Share, esc.ThresholdPct)
+		} else {
+			fmt.Printf("  fidelity       : stayed on %v (threshold %d%% never reached)\n",
+				esc.From, esc.ThresholdPct)
+		}
+	}
 	if !verbose {
 		return
 	}

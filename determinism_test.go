@@ -56,7 +56,7 @@ func TestPooledRunsBitIdentical(t *testing.T) {
 		t.Skip("full Tiny suite x 5 topologies, twice")
 	}
 	pool := NewRunPool(0)
-	kinds := []Kind{LogP, CLogP, Target}
+	kinds := []Kind{Flow, LogP, CLogP, Target}
 	topos := []string{"full", "cube", "mesh", "ring", "torus"}
 	// Two passes over the whole corpus: the second pass reuses contexts
 	// warmed by the first, so every single run of it exercises reset.

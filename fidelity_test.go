@@ -1,0 +1,191 @@
+package spasm
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"spasm/internal/report"
+)
+
+// TestAdaptiveThresholdZeroMatchesDetailed is the adaptive-fidelity
+// acceptance lock: with an escalation threshold of 0 the flow attempt
+// trips on its very first flow, so the statistics the adaptive run
+// reports must be byte-identical (as a RunDoc) to a plain detailed-tier
+// run — the escalation record itself is the only permitted difference.
+func TestAdaptiveThresholdZeroMatchesDetailed(t *testing.T) {
+	spec := Spec{App: "fft", Scale: Tiny, Machine: Flow, Topology: "mesh", P: 8,
+		Adaptive: true, EscalatePct: 0}
+	adaptive, err := RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	esc := adaptive.Escalation
+	if esc == nil || !esc.Tripped || esc.From != Flow || esc.To != Target {
+		t.Fatalf("escalation record = %+v, want a tripped flow->target record", esc)
+	}
+	detailed, err := RunSpec(Spec{App: "fft", Scale: Tiny, Machine: Target, Topology: "mesh", P: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aDoc := report.RunJSON(adaptive)
+	aDoc.Escalation = nil
+	dDoc := report.RunJSON(detailed)
+	a, _ := json.Marshal(aDoc)
+	d, _ := json.Marshal(dDoc)
+	if !bytes.Equal(a, d) {
+		t.Fatalf("adaptive(threshold 0) diverged from detailed run\nadaptive: %s\ndetailed: %s", a, d)
+	}
+}
+
+// TestAdaptiveThreshold100NeverEscalates: flow occupancy is strictly
+// below 100%, so the run completes on the flow tier and records an
+// untripped decision.
+func TestAdaptiveThreshold100NeverEscalates(t *testing.T) {
+	spec := Spec{App: "fft", Scale: Tiny, Machine: Flow, Topology: "mesh", P: 8,
+		Adaptive: true, EscalatePct: 100}
+	res, err := RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	esc := res.Escalation
+	if esc == nil || esc.Tripped || esc.From != Flow || esc.To != Flow {
+		t.Fatalf("escalation record = %+v, want an untripped flow record", esc)
+	}
+	if res.Config.Kind != Flow {
+		t.Fatalf("run finished on %v, want flow", res.Config.Kind)
+	}
+	plain, err := RunSpec(Spec{App: "fft", Scale: Tiny, Machine: Flow, Topology: "mesh", P: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Total != plain.Stats.Total {
+		t.Fatalf("untripped adaptive total %v differs from plain flow run %v",
+			res.Stats.Total, plain.Stats.Total)
+	}
+}
+
+// TestAdaptiveDeterministic: whether a spec escalates — and everything
+// downstream of the decision — is a pure function of the spec.
+func TestAdaptiveDeterministic(t *testing.T) {
+	spec := Spec{App: "is", Scale: Tiny, Machine: Flow, Topology: "mesh", P: 8,
+		Adaptive: true, EscalatePct: 50}
+	a, err := RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(report.RunJSON(a))
+	bj, _ := json.Marshal(report.RunJSON(b))
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("adaptive run not deterministic:\n%s\n%s", aj, bj)
+	}
+	if a.Escalation == nil || a.Escalation.Tripped != b.Escalation.Tripped {
+		t.Fatal("escalation decision not deterministic")
+	}
+}
+
+// TestAdaptivePooled: adaptive runs on a shared pool produce the same
+// RunDoc as unpooled ones, including the escalation record (the pooled
+// flow attempt is discarded on escalation, never reused half-run).
+func TestAdaptivePooled(t *testing.T) {
+	pool := NewRunPool(0)
+	spec := Spec{App: "fft", Scale: Tiny, Machine: Flow, Topology: "mesh", P: 8,
+		Adaptive: true, EscalatePct: 0}
+	fresh, err := RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		pooled, err := RunSpecOn(spec, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fj, _ := json.Marshal(report.RunJSON(fresh))
+		pj, _ := json.Marshal(report.RunJSON(pooled))
+		if !bytes.Equal(fj, pj) {
+			t.Fatalf("iteration %d: pooled adaptive RunDoc diverged\nfresh:  %s\npooled: %s", i, fj, pj)
+		}
+	}
+}
+
+// TestAdaptiveProfiled: the profiled adaptive path resolves the tier
+// first and profiles the resolved run, carrying the escalation record.
+func TestAdaptiveProfiled(t *testing.T) {
+	res, prof, err := RunSpecProfiled(Spec{App: "fft", Scale: Tiny, Machine: Flow,
+		Topology: "mesh", P: 8, Adaptive: true, EscalatePct: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Escalation == nil || !res.Escalation.Tripped {
+		t.Fatalf("escalation record missing on profiled adaptive run: %+v", res.Escalation)
+	}
+	if prof.Machine != "target" {
+		t.Fatalf("profile describes %q, want the escalated target run", prof.Machine)
+	}
+	if res.Config.Kind != Target {
+		t.Fatalf("profiled result ran on %v, want target", res.Config.Kind)
+	}
+}
+
+// TestFidelityStudyGolden is the determinism lock for the
+// fidelity-comparison study: every number in it is a pure function of
+// the specs, so the Tiny-scale rows must stay byte-identical across
+// runs and simulator-engineering changes.  Regenerate with
+// SPASM_UPDATE=1 only when a change is *intended* to alter simulated
+// results.
+func TestFidelityStudyGolden(t *testing.T) {
+	const goldenPath = "testdata/fidelity_tiny.golden.json"
+	s := NewSession(Options{Scale: Tiny})
+	rows, err := s.FidelityStudy("mesh", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if os.Getenv("SPASM_UPDATE") != "" {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with SPASM_UPDATE=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fidelity study diverged from golden %s\ngot:  %s\nwant: %s", goldenPath, got, want)
+	}
+}
+
+// TestFidelityStudyRuns: the fidelity comparison produces one row per
+// suite application with a positive event-reduction ratio.
+func TestFidelityStudyRuns(t *testing.T) {
+	s := NewSession(Options{Scale: Tiny})
+	rows, err := s.FidelityStudy("mesh", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Apps()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Apps()))
+	}
+	for _, r := range rows {
+		if r.TargetUS <= 0 || r.FlowUS <= 0 || r.LogPUS <= 0 {
+			t.Fatalf("%s: non-positive execution time: %+v", r.App, r)
+		}
+		if r.TargetNetEvents == 0 {
+			t.Fatalf("%s: detailed run reported no model events", r.App)
+		}
+		if r.EventRatio <= 1 {
+			t.Fatalf("%s: flow tier did not reduce model events (ratio %.2f)", r.App, r.EventRatio)
+		}
+	}
+}

@@ -83,6 +83,34 @@ type Result struct {
 	// Phases is the per-phase overhead profile (empty unless the
 	// program marks phases).
 	Phases *PhaseProfile
+	// Escalation records an adaptive-fidelity decision, when the run was
+	// made through an adaptive runner (nil otherwise): which network tier
+	// the run started on, whether the contention threshold tripped, and
+	// which tier produced the statistics this Result carries.
+	Escalation *Escalation
+}
+
+// Escalation is the record of one adaptive-fidelity decision.  A run
+// that starts on the flow tier watches the bottleneck occupancy of every
+// flow it admits; when the occupancy reaches ThresholdPct the run is
+// abandoned and redone on the detailed target machine, so the cheap
+// model is trusted exactly while it sees no contention worth modeling
+// per hop.
+type Escalation struct {
+	// From and To are the network tiers the run started and finished on;
+	// they are equal when the threshold never tripped.
+	From, To machine.Kind
+	// ThresholdPct is the bottleneck-occupancy percentage that arms the
+	// escalation: 0 trips on the first flow admitted, 100 never trips
+	// (flow occupancy is strictly below 100).
+	ThresholdPct int
+	// Tripped reports whether the threshold fired.
+	Tripped bool
+	// At is the simulated time of the first threshold crossing (0 when
+	// the run never tripped).
+	At sim.Time
+	// Share is the bottleneck share count that crossed the threshold.
+	Share int
 }
 
 // Instrument observes one run from the inside.  Attach is called after
@@ -166,17 +194,32 @@ func RunPooled(prog Program, cfg machine.Config, pool *runpool.Pool) (*Result, e
 // established for state a run finished with.  Successful runs Put their
 // context back as usual.
 func RunPooledControlled(prog Program, cfg machine.Config, pool *runpool.Pool, ctl RunControl) (*Result, error) {
+	return RunPooledInstrumented(prog, cfg, pool, ctl, nil)
+}
+
+// RunPooledInstrumented is RunPooledControlled with an attached
+// Instrument (the hook the adaptive-fidelity runner uses to watch the
+// flow tier's contention from inside a pooled run).  A nil pool falls
+// back to a fresh, unpooled run with the same instrument and control.
+func RunPooledInstrumented(prog Program, cfg machine.Config, pool *runpool.Pool, ctl RunControl, inst Instrument) (*Result, error) {
 	if pool == nil {
-		if ctl.enabled() {
-			return RunControlled(prog, cfg, ctl)
+		if cfg.P < 1 {
+			return nil, fmt.Errorf("app: run with P=%d", cfg.P)
 		}
-		return Run(prog, cfg)
+		blockBytes := cfg.Cache.BlockBytes
+		if blockBytes == 0 {
+			blockBytes = mem.DefaultBlockBytes
+		}
+		space := mem.NewSpace(cfg.P, blockBytes)
+		eng := sim.NewEngine()
+		bind := func() (machine.Machine, error) { return machine.New(cfg, space) }
+		return runOn(prog, cfg, space, eng, bind, nil, inst, ctl)
 	}
 	ctx, err := pool.Get(cfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := runOn(prog, cfg, ctx.Space, ctx.Eng, ctx.Bind, nil, nil, ctl)
+	res, err := runOn(prog, cfg, ctx.Space, ctx.Eng, ctx.Bind, nil, inst, ctl)
 	if err != nil {
 		pool.Discard(ctx)
 		return nil, err
@@ -211,6 +254,8 @@ func runOn(prog Program, cfg machine.Config, space *mem.Space, eng *sim.Engine,
 	if err != nil {
 		return nil, err
 	}
+	base := m // the underlying machine: instruments and the network
+	// backend readout see it even when a decorator wraps the run.
 	if inst != nil {
 		inst.Attach(cfg, eng, run, m)
 	}
@@ -277,6 +322,11 @@ func runOn(prog Program, cfg machine.Config, space *mem.Space, eng *sim.Engine,
 	}
 	run.Wall = time.Since(t0)
 	run.SimEvents = eng.Events
+	if b, ok := base.(machine.Backend); ok {
+		if net := b.Network(); net != nil {
+			run.NetEvents = net.Stats().ModelEvents
+		}
+	}
 
 	if err := prog.Check(); err != nil {
 		return nil, fmt.Errorf("app: %s result check failed: %w", prog.Name(), err)

@@ -18,7 +18,7 @@ func TestSyncStressProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		p := []int{2, 4, 8}[rng.Intn(3)]
-		kind := machine.Kinds()[rng.Intn(4)]
+		kind := machine.Kinds()[rng.Intn(len(machine.Kinds()))]
 		rounds := 3 + rng.Intn(4)
 
 		var (

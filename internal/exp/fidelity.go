@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"spasm/internal/apps"
+	"spasm/internal/machine"
+)
+
+// The fidelity-comparison study contrasts the three network tiers —
+// the flow abstraction, the LogP abstraction, and the detailed
+// circuit-switched fabric — on the full application suite: how far each
+// abstraction's predicted execution time lands from the detailed
+// machine's, and how much network-model work each tier performed to get
+// there.  It is the quantitative basis for adaptive fidelity: the flow
+// tier is worth starting on exactly when its error stays small while
+// its model-event count is orders of magnitude below the per-hop
+// fabric's.
+
+// FidelityRow compares the network tiers for one application.
+type FidelityRow struct {
+	App string
+	// TargetUS, FlowUS and LogPUS are the predicted execution times, us.
+	TargetUS float64
+	FlowUS   float64
+	LogPUS   float64
+	// FlowErrPct and LogPErrPct are each abstraction's signed execution
+	// time error against the detailed machine, in percent.
+	FlowErrPct float64
+	LogPErrPct float64
+	// TargetNetEvents, FlowNetEvents and LogPNetEvents are each tier's
+	// network-model work: per-hop reservations, allocation
+	// recomputations, and port gatings respectively.
+	TargetNetEvents uint64
+	FlowNetEvents   uint64
+	LogPNetEvents   uint64
+	// EventRatio is TargetNetEvents / max(FlowNetEvents, 1) — the flow
+	// tier's event-reduction factor.
+	EventRatio float64
+}
+
+// FidelityStudy runs the application suite on the flow, LogP, and
+// detailed target machines at the given topology and processor count.
+// Like every study it is cached on the session and fully deterministic.
+func (s *Session) FidelityStudy(topo string, p int) ([]FidelityRow, error) {
+	var out []FidelityRow
+	for _, name := range apps.Names() {
+		tgt, err := s.Run(name, topo, machine.Target, p)
+		if err != nil {
+			return nil, err
+		}
+		fl, err := s.Run(name, topo, machine.Flow, p)
+		if err != nil {
+			return nil, err
+		}
+		lg, err := s.Run(name, topo, machine.LogP, p)
+		if err != nil {
+			return nil, err
+		}
+		row := FidelityRow{
+			App:             name,
+			TargetUS:        tgt.Total.Micros(),
+			FlowUS:          fl.Total.Micros(),
+			LogPUS:          lg.Total.Micros(),
+			TargetNetEvents: tgt.NetEvents,
+			FlowNetEvents:   fl.NetEvents,
+			LogPNetEvents:   lg.NetEvents,
+		}
+		if row.TargetUS > 0 {
+			row.FlowErrPct = 100 * (row.FlowUS - row.TargetUS) / row.TargetUS
+			row.LogPErrPct = 100 * (row.LogPUS - row.TargetUS) / row.TargetUS
+		}
+		flEvents := row.FlowNetEvents
+		if flEvents == 0 {
+			flEvents = 1
+		}
+		row.EventRatio = float64(row.TargetNetEvents) / float64(flEvents)
+		out = append(out, row)
+	}
+	return out, nil
+}

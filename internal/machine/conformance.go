@@ -111,6 +111,141 @@ func confDeterminism(factory func() (Machine, *mem.Space, *mem.Array)) error {
 	return nil
 }
 
+// NetworkConformance checks that a network backend obeys the contract
+// every tier — detailed, LogP, flow — must satisfy behind the Network
+// interface, independent of its timing model:
+//
+//  1. conservation: every message handed to the backend is counted,
+//     and counted exactly once, in its traffic statistics;
+//  2. monotone delivery: a message is never delivered before it was
+//     sent plus its contention-free latency, waiting is never negative,
+//     and back-to-back messages on the same (src, dst) pair issued at
+//     nondecreasing times are delivered at nondecreasing times;
+//  3. deterministic replay: driving a fresh backend twice through the
+//     same access pattern yields identical schedules and statistics —
+//     and so does the same backend after a Reset, which is the runpool
+//     rebind contract.
+//
+// Tests call it once per registered tier (see NetworkTiers).
+func NetworkConformance(tier NetworkTier, topoName string, p int) error {
+	if err := netConservation(tier, topoName, p); err != nil {
+		return err
+	}
+	if err := netMonotone(tier, topoName, p); err != nil {
+		return err
+	}
+	return netReplay(tier, topoName, p)
+}
+
+func netConservation(tier NetworkTier, topoName string, p int) error {
+	n, err := tier.New(topoName, p)
+	if err != nil {
+		return fmt.Errorf("net-conformance/%s: %w", tier.Name, err)
+	}
+	var now sim.Time
+	var sent, bytes uint64
+	for i := 0; i < 100; i++ {
+		src := i % p
+		dst := (i*3 + 1) % p
+		if dst == src {
+			dst = (dst + 1) % p
+		}
+		size := 8 + i%25
+		d := n.Xfer(now, src, dst, size)
+		sent++
+		bytes += uint64(size)
+		if d.At > now {
+			now = d.At
+		}
+	}
+	st := n.Stats()
+	if st.Messages != sent {
+		return fmt.Errorf("net-conformance/%s: carried %d messages, counted %d",
+			tier.Name, sent, st.Messages)
+	}
+	if st.Bytes != bytes {
+		return fmt.Errorf("net-conformance/%s: carried %d bytes, counted %d",
+			tier.Name, bytes, st.Bytes)
+	}
+	return nil
+}
+
+func netMonotone(tier NetworkTier, topoName string, p int) error {
+	n, err := tier.New(topoName, p)
+	if err != nil {
+		return fmt.Errorf("net-conformance/%s: %w", tier.Name, err)
+	}
+	var now, lastAt sim.Time
+	for i := 0; i < 50; i++ {
+		d := n.Xfer(now, 0, p-1, 16)
+		if d.At < now+d.Latency {
+			return fmt.Errorf("net-conformance/%s: message %d delivered at %v, before send %v + latency %v",
+				tier.Name, i, d.At, now, d.Latency)
+		}
+		if d.Wait < 0 {
+			return fmt.Errorf("net-conformance/%s: message %d has negative wait %v",
+				tier.Name, i, d.Wait)
+		}
+		if d.At < lastAt {
+			return fmt.Errorf("net-conformance/%s: delivery went backwards (%v after %v)",
+				tier.Name, d.At, lastAt)
+		}
+		lastAt = d.At
+		now += 5 // issue faster than the link drains: forces queueing/sharing
+	}
+	return nil
+}
+
+// netDrive runs one fixed pseudo-random pattern and fingerprints the
+// resulting schedule.
+func netDrive(n Network, p int) (sum sim.Time, st NetStats) {
+	var now sim.Time
+	for i := 0; i < 300; i++ {
+		src := (i * 5) % p
+		dst := (i*11 + 3) % p
+		if dst == src {
+			dst = (dst + 1) % p
+		}
+		at := now + sim.Time(i%7)
+		if i%16 == 0 {
+			n.Settle(now)
+		}
+		d := n.Xfer(at, src, dst, 8+(i*13)%25)
+		sum += d.At + d.Wait
+		if i%4 == 0 && d.At > now {
+			now = d.At
+		}
+	}
+	st = n.Stats()
+	return sum, st
+}
+
+func netReplay(tier NetworkTier, topoName string, p int) error {
+	fresh := func() (Network, error) { return tier.New(topoName, p) }
+	a, err := fresh()
+	if err != nil {
+		return fmt.Errorf("net-conformance/%s: %w", tier.Name, err)
+	}
+	b, err := fresh()
+	if err != nil {
+		return fmt.Errorf("net-conformance/%s: %w", tier.Name, err)
+	}
+	sumA, stA := netDrive(a, p)
+	sumB, stB := netDrive(b, p)
+	if sumA != sumB || stA != stB {
+		return fmt.Errorf("net-conformance/%s: replay diverged (%v/%+v vs %v/%+v)",
+			tier.Name, sumA, stA, sumB, stB)
+	}
+	// Reset must restore the post-construction state exactly.
+	a.Reset()
+	sumR, stR := netDrive(a, p)
+	if sumR != sumA || stR != stA {
+		return fmt.Errorf("net-conformance/%s: run after Reset diverged (%v/%+v vs %v/%+v)",
+			tier.Name, sumR, stR, sumA, stA)
+	}
+	return nil
+}
+
 func confLocality(factory func() (Machine, *mem.Space, *mem.Array)) error {
 	cost := func(node, elem int) (sim.Time, error) {
 		m, _, arr := factory()

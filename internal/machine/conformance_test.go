@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"spasm/internal/mem"
+	"spasm/internal/sim"
 )
 
 // TestAllMachinesConform runs the conformance suite over every machine
@@ -47,5 +48,89 @@ func TestAllMachinesConform(t *testing.T) {
 				t.Error(err)
 			}
 		})
+	}
+}
+
+// TestNetworkTiersConform runs every registered network backend —
+// detailed, logp, flow — through the same invariant checks (message
+// conservation, monotone delivery, deterministic replay x2 plus a
+// post-Reset replay), on every topology.
+func TestNetworkTiersConform(t *testing.T) {
+	for _, tier := range NetworkTiers() {
+		for _, topo := range []string{"full", "cube", "mesh", "ring", "torus"} {
+			tier, topo := tier, topo
+			t.Run(tier.Name+"/"+topo, func(t *testing.T) {
+				if err := NetworkConformance(tier, topo, 8); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+// TestNetworkTierByName: the registry resolves every registered name
+// and rejects unknown ones with the valid list.
+func TestNetworkTierByName(t *testing.T) {
+	for _, tier := range NetworkTiers() {
+		got, err := NetworkTierByName(tier.Name)
+		if err != nil || got.Name != tier.Name {
+			t.Fatalf("NetworkTierByName(%q) = %v, %v", tier.Name, got.Name, err)
+		}
+	}
+	if _, err := NetworkTierByName("carrier-pigeon"); err == nil {
+		t.Fatal("unknown tier accepted")
+	}
+}
+
+// TestFlowRebindClearsState: rebinding a pooled flow machine must clear
+// the active-flow table — a leaked flow from the previous run would
+// alias into the next run's bandwidth allocation.  The same access
+// sequence is driven on a fresh machine and a rebound one; their
+// delivery schedules must be identical (the TestProfilerReuse-style
+// aliasing check for the flow backend).
+func TestFlowRebindClearsState(t *testing.T) {
+	drive := func(m Machine, s *mem.Space, a *mem.Array) string {
+		fm := m.(Flowed).FlowNet()
+		var log string
+		for i := 0; i < 40; i++ {
+			dst := (i*3 + 1) % 8
+			if dst == 0 {
+				dst = 1
+			}
+			x := fm.Transfer(sim.Time(i*10), 0, dst, 16)
+			log += x.End.String() + ","
+		}
+		return log
+	}
+	setup := func() (*mem.Space, *mem.Array) {
+		s := mem.NewSpace(8, 32)
+		a := s.Alloc("conf", 8*64, 8, mem.Blocked)
+		return s, a
+	}
+	s1, a1 := setup()
+	fresh, err := New(Config{Kind: Flow, Topology: "mesh", P: 8}, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drive(fresh, s1, a1)
+
+	r := NewReusable(Config{Kind: Flow, Topology: "mesh"})
+	s2, a2 := setup()
+	m, err := r.Bind(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drive(m, s2, a2); got != want {
+		t.Fatalf("first pooled run diverged:\n got %s\nwant %s", got, want)
+	}
+	// Rebind without the run in between having been "clean": the flow
+	// table still holds the previous run's flows until Reset clears it.
+	s3, a3 := setup()
+	m, err = r.Bind(s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drive(m, s3, a3); got != want {
+		t.Fatalf("rebound run diverged from fresh:\n got %s\nwant %s", got, want)
 	}
 }

@@ -21,6 +21,7 @@ import (
 
 	"spasm/internal/cache"
 	"spasm/internal/coherence"
+	"spasm/internal/flow"
 	"spasm/internal/logp"
 	"spasm/internal/mem"
 	"spasm/internal/network"
@@ -40,9 +41,12 @@ const (
 	CLogP
 	// Target is the detailed CC-NUMA machine.
 	Target
+	// Flow is the cache-less machine with the flow-based
+	// bandwidth-sharing network abstraction — the coarsest network tier.
+	Flow
 )
 
-var kindNames = [...]string{"ideal", "logp", "clogp", "target"}
+var kindNames = [...]string{"ideal", "logp", "clogp", "target", "flow"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -51,18 +55,20 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
-// ParseKind converts a name ("ideal", "logp", "clogp", "target") to Kind.
+// ParseKind converts a name ("ideal", "flow", "logp", "clogp",
+// "target") to Kind.
 func ParseKind(s string) (Kind, error) {
 	for i, n := range kindNames {
 		if n == s {
 			return Kind(i), nil
 		}
 	}
-	return 0, fmt.Errorf("machine: unknown kind %q", s)
+	return 0, fmt.Errorf("machine: unknown kind %q (have %v)", s, kindNames)
 }
 
-// Kinds lists all machine kinds in comparison order.
-func Kinds() []Kind { return []Kind{Ideal, LogP, CLogP, Target} }
+// Kinds lists all machine kinds in comparison order, coarsest
+// abstraction first.
+func Kinds() []Kind { return []Kind{Ideal, Flow, LogP, CLogP, Target} }
 
 // Machine is a simulated memory system: the only interface applications
 // see, so the same program drives every characterization.
@@ -176,6 +182,14 @@ func New(cfg Config, space *mem.Space) (Machine, error) {
 		eng := coherence.NewEngine(space, cfg.Cache, cfg.Costs, tr)
 		eng.Protocol = cfg.Protocol
 		return &cachedMachine{kind: CLogP, space: space, eng: eng, net: net}, nil
+	case Flow:
+		topo, err := network.New(cfg.Topology, cfg.P)
+		if err != nil {
+			return nil, err
+		}
+		net := flow.New(topo)
+		net.ByteTime = cfg.LinkByteTime
+		return &flowMachine{space: space, net: net, costs: cfg.Costs}, nil
 	case Target:
 		topo, err := network.New(cfg.Topology, cfg.P)
 		if err != nil {
@@ -258,6 +272,61 @@ func (m *logpMachine) Write(p *sim.Proc, st *stats.Proc, node int, addr mem.Addr
 	m.access(p, st, node, addr)
 }
 
+// flowMachine is the cache-less flow-abstracted machine: like the LogP
+// machine, every non-local reference is a request/reply round trip, but
+// the network prices messages by bandwidth sharing (internal/flow) and
+// the processor advances on its *local clock alone* — a remote access
+// costs no engine event, which is where the flow tier's simulator-event
+// reduction comes from.  Delivery times can therefore be computed out of
+// global-time order across processors; that is safe because the flow
+// model is a pure function of its call sequence and the call sequence
+// is fixed by the engine's deterministic scheduling, not by network
+// state.
+type flowMachine struct {
+	space *mem.Space
+	net   *flow.Net
+	costs coherence.Costs
+}
+
+func (m *flowMachine) Kind() Kind { return Flow }
+func (m *flowMachine) P() int     { return m.net.P() }
+
+// FlowNet exposes the flow network (for telemetry and escalation).
+func (m *flowMachine) FlowNet() *flow.Net { return m.net }
+
+func (m *flowMachine) access(p *sim.Proc, st *stats.Proc, node int, addr mem.Addr) {
+	home := m.space.Home(addr)
+	if home == node {
+		st.Add(stats.Memory, m.costs.Mem)
+		p.Defer(m.costs.Mem)
+		return
+	}
+	// The engine clock bounds every processor's local clock from below,
+	// so flows settled before it can never compete again.
+	m.net.Settle(p.Engine().Now())
+	now := p.Now()
+	req := m.net.Transfer(now, node, home, m.costs.CtrlBytes)
+	t := req.End + m.costs.Mem
+	rep := m.net.Transfer(t, home, node, m.costs.DataBytes)
+	st.Messages += 2
+	st.NetBytes += uint64(m.costs.CtrlBytes + m.costs.DataBytes)
+	st.NetAccesses++
+	st.Add(stats.Latency, req.Latency+rep.Latency)
+	st.Add(stats.Contention, req.Wait+rep.Wait)
+	st.Add(stats.Memory, m.costs.Mem)
+	p.Defer(rep.End - now)
+}
+
+func (m *flowMachine) Read(p *sim.Proc, st *stats.Proc, node int, addr mem.Addr) {
+	st.Reads++
+	m.access(p, st, node, addr)
+}
+
+func (m *flowMachine) Write(p *sim.Proc, st *stats.Proc, node int, addr mem.Addr) {
+	st.Writes++
+	m.access(p, st, node, addr)
+}
+
 // Coherent is implemented by machines with caches (Target and CLogP),
 // exposing their coherence engine for invariant checks and inspection.
 type Coherent interface {
@@ -276,6 +345,31 @@ type Networked interface {
 // cached wrapper satisfies the interface but has no abstract network).
 type Abstracted interface {
 	Net() *logp.Net
+}
+
+// Flowed is implemented by the Flow machine, exposing its
+// bandwidth-sharing network for telemetry and adaptive-fidelity
+// escalation.
+type Flowed interface {
+	FlowNet() *flow.Net
+}
+
+// Network exposes the flow machine's backend behind the uniform seam.
+func (m *flowMachine) Network() Network { return flowNet{net: m.net} }
+
+// Network exposes the LogP machine's backend behind the uniform seam.
+func (m *logpMachine) Network() Network { return &logpNet{net: m.net} }
+
+// Network exposes a cached machine's backend behind the uniform seam:
+// the detailed fabric for Target, the LogP net for CLogP.
+func (m *cachedMachine) Network() Network {
+	if m.fab != nil {
+		return fabricNet{fab: m.fab}
+	}
+	if m.net != nil {
+		return &logpNet{net: m.net}
+	}
+	return nil
 }
 
 // cachedMachine wraps the shared coherence engine for Target and CLogP.

@@ -312,7 +312,7 @@ func TestAccountingSanityProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		const p = 4
 		rng := rand.New(rand.NewSource(seed))
-		kind := Kinds()[rng.Intn(4)]
+		kind := Kinds()[rng.Intn(len(Kinds()))]
 		s, a := newSpace(p)
 		m := build(t, Config{Kind: kind, Topology: "mesh"}, s)
 		var reads, writes uint64

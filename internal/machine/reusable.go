@@ -60,6 +60,9 @@ func (r *Reusable) Bind(space *mem.Space) (Machine, error) {
 	case *logpMachine:
 		m.space = space
 		m.net.Reset()
+	case *flowMachine:
+		m.space = space
+		m.net.Reset()
 	case *cachedMachine:
 		m.space = space
 		if m.net != nil {

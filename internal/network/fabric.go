@@ -45,6 +45,13 @@ type Fabric struct {
 	// Messages and Bytes count all traffic carried by the fabric.
 	Messages uint64
 	Bytes    uint64
+	// HopEvents counts per-hop resource reservations: every message
+	// books its route's links plus the two endpoint ports, so each
+	// Reserve adds len(route)+2.  It is the detailed model's unit of
+	// simulation work — the event count a per-hop network simulator
+	// would dispatch — and the baseline the flow tier's event-reduction
+	// claim is measured against.
+	HopEvents uint64
 }
 
 // NewFabric returns a fabric over the given topology with the paper's
@@ -86,6 +93,7 @@ func (f *Fabric) Reset() {
 	f.Observer = nil
 	f.Messages = 0
 	f.Bytes = 0
+	f.HopEvents = 0
 }
 
 // Degrade marks a directed link as transmitting factor times slower than
@@ -156,6 +164,7 @@ func (f *Fabric) Reserve(now sim.Time, src, dst, bytes int) Xmit {
 	}
 	f.Messages++
 	f.Bytes += uint64(bytes)
+	f.HopEvents += uint64(len(route)) + 2
 	x := Xmit{Start: start, End: end, Latency: dur, Wait: start - now}
 	if f.Observer != nil {
 		f.Observer(now, x, src, dst, bytes, route)

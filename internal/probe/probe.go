@@ -9,7 +9,8 @@
 //     messages, invalidations, writebacks — the coherence actions);
 //   - per-link occupancy, traffic and waiting time on the target
 //     machine's detailed fabric, the data that shows *which* links
-//     saturate during a contention spike;
+//     saturate during a contention spike (on the flow tier, the same
+//     samples are recorded against each flow's bottleneck resource);
 //   - a log₂-bucketed histogram of end-to-end message delays (latency
 //     plus waiting), per epoch, on every machine with a network.
 //
@@ -38,6 +39,7 @@ import (
 	"sort"
 
 	"spasm/internal/app"
+	"spasm/internal/flow"
 	"spasm/internal/logp"
 	"spasm/internal/machine"
 	"spasm/internal/network"
@@ -409,6 +411,10 @@ func (pr *Profiler) Attach(cfg machine.Config, eng *sim.Engine, run *stats.Run, 
 		fab := nm.Fabric()
 		pr.numLinks = fab.Topology().NumLinks()
 		fab.Observer = pr.fabricXmit
+	} else if fm, ok := m.(machine.Flowed); ok && fm.FlowNet() != nil {
+		fn := fm.FlowNet()
+		pr.numLinks = fn.LinkSpace()
+		fn.Observer = pr.flowXmit
 	} else if am, ok := m.(machine.Abstracted); ok && am.Net() != nil {
 		am.Net().Observer = pr.netXmit
 	}
@@ -575,6 +581,21 @@ func (pr *Profiler) addLinkSpan(id int, start, end sim.Time) {
 		e.link(id).Busy += edge - t
 		t = edge
 	}
+}
+
+// flowXmit is the flow tier's observer: it attributes the flow's delay
+// to the admission epoch's histogram and charges the flow's occupancy
+// and waiting to its bottleneck resource.  The resource id space is the
+// flow net's LinkSpace (directed links, then injection ports, then
+// ejection ports), so per-link telemetry shows *which* resource the
+// sharing happened on, through the unchanged encode format.
+func (pr *Profiler) flowXmit(now sim.Time, x flow.Xmit, src, dst, bytes int) {
+	pr.epochAt(now).hist[histBucket(x.End-now)]++
+	l := pr.epochAt(now).link(x.Bottleneck)
+	l.Messages++
+	l.Bytes += uint64(bytes)
+	l.Wait += x.Wait
+	pr.addLinkSpan(x.Bottleneck, x.Start, x.End)
 }
 
 // netXmit is the abstract network's observer: delays only, no links.

@@ -32,8 +32,26 @@ type RunDoc struct {
 	Messages  uint64 `json:"messages"`
 	NetBytes  uint64 `json:"net_bytes"`
 	SimEvents uint64 `json:"sim_events"`
+	// NetModelEvents is the network model's own unit of work: per-hop
+	// reservations (detailed), port gatings (LogP tiers), allocation
+	// recomputations (flow).
+	NetModelEvents uint64 `json:"net_model_events"`
+
+	// Escalation records the adaptive-fidelity decision of a run made
+	// through an adaptive spec; absent otherwise.
+	Escalation *EscalationDoc `json:"escalation,omitempty"`
 
 	Procs []ProcDoc `json:"procs"`
+}
+
+// EscalationDoc is the JSON form of one adaptive-fidelity decision.
+type EscalationDoc struct {
+	From         string  `json:"from"`
+	To           string  `json:"to"`
+	ThresholdPct int     `json:"threshold_pct"`
+	Tripped      bool    `json:"tripped"`
+	AtUS         float64 `json:"at_us"`
+	Share        int     `json:"share"`
 }
 
 // ProcDoc is one processor's summary within a RunDoc.
@@ -51,23 +69,34 @@ func RunJSON(res *app.Result) RunDoc {
 		topo = "full"
 	}
 	doc := RunDoc{
-		Program:      res.Program,
-		Machine:      res.Config.Kind.String(),
-		Topology:     topo,
-		P:            r.P(),
-		TotalUS:      r.Total.Micros(),
-		ComputeUS:    r.Sum(stats.Compute).Micros(),
-		MemoryUS:     r.Sum(stats.Memory).Micros(),
-		LatencyUS:    r.Sum(stats.Latency).Micros(),
-		ContentionUS: r.Sum(stats.Contention).Micros(),
-		SyncUS:       r.Sum(stats.Sync).Micros(),
-		Reads:        r.Count(func(p *stats.Proc) uint64 { return p.Reads }),
-		Writes:       r.Count(func(p *stats.Proc) uint64 { return p.Writes }),
-		Hits:         r.Count(func(p *stats.Proc) uint64 { return p.Hits }),
-		Misses:       r.Count(func(p *stats.Proc) uint64 { return p.Misses }),
-		Messages:     r.Messages(),
-		NetBytes:     r.Count(func(p *stats.Proc) uint64 { return p.NetBytes }),
-		SimEvents:    r.SimEvents,
+		Program:        res.Program,
+		Machine:        res.Config.Kind.String(),
+		Topology:       topo,
+		P:              r.P(),
+		TotalUS:        r.Total.Micros(),
+		ComputeUS:      r.Sum(stats.Compute).Micros(),
+		MemoryUS:       r.Sum(stats.Memory).Micros(),
+		LatencyUS:      r.Sum(stats.Latency).Micros(),
+		ContentionUS:   r.Sum(stats.Contention).Micros(),
+		SyncUS:         r.Sum(stats.Sync).Micros(),
+		Reads:          r.Count(func(p *stats.Proc) uint64 { return p.Reads }),
+		Writes:         r.Count(func(p *stats.Proc) uint64 { return p.Writes }),
+		Hits:           r.Count(func(p *stats.Proc) uint64 { return p.Hits }),
+		Misses:         r.Count(func(p *stats.Proc) uint64 { return p.Misses }),
+		Messages:       r.Messages(),
+		NetBytes:       r.Count(func(p *stats.Proc) uint64 { return p.NetBytes }),
+		SimEvents:      r.SimEvents,
+		NetModelEvents: r.NetEvents,
+	}
+	if esc := res.Escalation; esc != nil {
+		doc.Escalation = &EscalationDoc{
+			From:         esc.From.String(),
+			To:           esc.To.String(),
+			ThresholdPct: esc.ThresholdPct,
+			Tripped:      esc.Tripped,
+			AtUS:         esc.At.Micros(),
+			Share:        esc.Share,
+		}
 	}
 	for i := range r.Procs {
 		p := &r.Procs[i]

@@ -22,11 +22,19 @@ type RunRequest struct {
 	P        int    `json:"p"`
 	PortMode string `json:"port_mode,omitempty"`
 	Protocol string `json:"protocol,omitempty"`
+
+	// Adaptive requests the adaptive-fidelity protocol: machine must be
+	// "flow", and the run escalates to the detailed tier when a flow's
+	// occupancy reaches EscalatePct percent.  The result's "escalation"
+	// field records the decision either way.
+	Adaptive    bool `json:"adaptive,omitempty"`
+	EscalatePct int  `json:"escalate_pct,omitempty"`
 }
 
 // Spec converts the wire request to a canonical run spec.
 func (r RunRequest) Spec() (spasm.Spec, error) {
-	spec := spasm.Spec{App: r.App, Seed: r.Seed, P: r.P, Topology: r.Topology}
+	spec := spasm.Spec{App: r.App, Seed: r.Seed, P: r.P, Topology: r.Topology,
+		Adaptive: r.Adaptive, EscalatePct: r.EscalatePct}
 	var err error
 	if r.Scale == "" {
 		spec.Scale = spasm.Small
@@ -54,14 +62,16 @@ func (r RunRequest) Spec() (spasm.Spec, error) {
 func RequestFromSpec(s spasm.Spec) RunRequest {
 	c := s.Canonical()
 	return RunRequest{
-		App:      c.App,
-		Scale:    c.Scale.String(),
-		Seed:     c.Seed,
-		Machine:  c.Machine.String(),
-		Topology: c.Topology,
-		P:        c.P,
-		PortMode: c.PortMode.String(),
-		Protocol: c.Protocol.String(),
+		App:         c.App,
+		Scale:       c.Scale.String(),
+		Seed:        c.Seed,
+		Machine:     c.Machine.String(),
+		Topology:    c.Topology,
+		P:           c.P,
+		PortMode:    c.PortMode.String(),
+		Protocol:    c.Protocol.String(),
+		Adaptive:    c.Adaptive,
+		EscalatePct: c.EscalatePct,
 	}
 }
 

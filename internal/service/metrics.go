@@ -44,6 +44,7 @@ type Metrics struct {
 	done          uint64
 	failed        uint64
 	canceled      uint64 // jobs dropped before execution (all waiters gone)
+	escalated     uint64 // adaptive runs that tripped onto the detailed tier
 	timeouts      uint64 // failed jobs whose failure was the run deadline
 	rejected      uint64 // submissions bounced with ErrQueueFull
 	profHits      uint64 // profiles served from the memoized encoding
@@ -85,6 +86,12 @@ func (m *Metrics) jobFinished(ok, timedOut bool) {
 func (m *Metrics) jobCanceled() {
 	m.mu.Lock()
 	m.canceled++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) runEscalated() {
+	m.mu.Lock()
+	m.escalated++
 	m.mu.Unlock()
 }
 
@@ -147,6 +154,9 @@ func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evict
 	fmt.Fprintf(b, "spasmd_jobs_canceled_total %d\n", m.canceled)
 	fmt.Fprintf(b, "spasmd_jobs_timeout_total %d\n", m.timeouts)
 	fmt.Fprintf(b, "spasmd_jobs_rejected_total %d\n", m.rejected)
+	// Adaptive-fidelity runs that tripped their escalation threshold and
+	// were rerun on the detailed tier.
+	fmt.Fprintf(b, "spasmd_runs_escalated_total %d\n", m.escalated)
 	fmt.Fprintf(b, "spasmd_profile_cache_hits_total %d\n", m.profHits)
 	fmt.Fprintf(b, "spasmd_profile_cache_misses_total %d\n", m.profMiss)
 	fmt.Fprintf(b, "spasmd_profiles_coalesced_total %d\n", m.profCoalesced)

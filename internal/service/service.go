@@ -324,6 +324,9 @@ func (s *Server) worker() {
 
 		e := &entry{id: job.id, req: job.req}
 		res, err := runSpecSafely(job.spec, s.pool, s.cfg.RunTimeout)
+		if err == nil && res.Escalation != nil && res.Escalation.Tripped {
+			s.metrics.runEscalated()
+		}
 		if err == nil {
 			if err = faults.Fire(faults.Marshal); err == nil {
 				var doc []byte

@@ -319,3 +319,41 @@ func TestShutdownDrains(t *testing.T) {
 		t.Fatalf("cached spec during drain: hit=%v err=%v, want hit", hit, err)
 	}
 }
+
+// TestAdaptiveRunOverWire drives an adaptive-fidelity submission through
+// the HTTP API: the wire fields survive the spec round trip, the RunDoc
+// carries the escalation record, and the escalation shows up on
+// /metrics as spasmd_runs_escalated_total.
+func TestAdaptiveRunOverWire(t *testing.T) {
+	_, cl := newTestService(t, service.Config{Workers: 1, CacheSize: 8})
+	ctx := context.Background()
+
+	req := service.RunRequest{App: "fft", Scale: "tiny", Machine: "flow",
+		Topology: "mesh", P: 8, Adaptive: true, EscalatePct: 0}
+	st, err := cl.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("adaptive run finished %s (%s)", st.State, st.Error)
+	}
+	if !st.Spec.Adaptive || st.Spec.Machine != "flow" {
+		t.Fatalf("spec echo lost the adaptive fields: %+v", st.Spec)
+	}
+	var doc report.RunDoc
+	if err := json.Unmarshal(st.Result, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Escalation == nil || !doc.Escalation.Tripped ||
+		doc.Escalation.From != "flow" || doc.Escalation.To != "target" {
+		t.Fatalf("RunDoc escalation = %+v, want tripped flow->target", doc.Escalation)
+	}
+
+	page, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains([]byte(page), []byte("spasmd_runs_escalated_total 1")) {
+		t.Fatalf("metrics page missing spasmd_runs_escalated_total 1:\n%s", page)
+	}
+}

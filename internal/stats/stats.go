@@ -100,6 +100,13 @@ type Run struct {
 	// dispatched; it is the machine-independent measure of how
 	// expensive the simulation itself was.
 	SimEvents uint64
+	// NetEvents is the network model's own unit of work, as reported by
+	// the machine's network backend: per-hop resource reservations on
+	// the detailed fabric, per-message port gatings on the LogP tiers,
+	// bandwidth-allocation recomputations on the flow tier.  Zero on
+	// machines without a network backend.  It is the axis the fidelity
+	// comparison's event-reduction claim is measured on.
+	NetEvents uint64
 	// Wall is the host wall-clock duration of the simulation, the
 	// paper's "speed of simulation" metric.
 	Wall time.Duration

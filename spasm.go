@@ -12,6 +12,9 @@
 //     parameters;
 //   - LogP+Cache (CLogP): the LogP network plus an ideal coherent cache
 //     whose coherence actions cost nothing;
+//   - Flow: no caches, the network abstracted as bandwidth-sharing
+//     flows with max-min fair allocation (the coarsest network tier;
+//     the starting point of adaptive fidelity escalation);
 //   - Ideal: a PRAM-like machine for the ideal-time metric.
 //
 // SPASM-style overhead separation (compute / memory / latency /
@@ -88,6 +91,7 @@ type (
 // Machine characterizations.
 const (
 	Ideal  = machine.Ideal
+	Flow   = machine.Flow
 	LogP   = machine.LogP
 	CLogP  = machine.CLogP
 	Target = machine.Target
@@ -250,7 +254,7 @@ func PhaseReport(res *Result) string {
 // Micros converts microseconds to simulated Time.
 func Micros(us float64) Time { return sim.Micros(us) }
 
-// ParseKind converts a machine name ("ideal", "logp", "clogp",
+// ParseKind converts a machine name ("ideal", "flow", "logp", "clogp",
 // "target") to its Kind.
 func ParseKind(s string) (Kind, error) { return machine.ParseKind(s) }
 
@@ -314,6 +318,9 @@ type (
 	PlacementRow = exp.PlacementRow
 	// ExtendedAppRow is one point of the out-of-suite validation.
 	ExtendedAppRow = exp.ExtendedAppRow
+	// FidelityRow compares the flow, LogP and detailed network tiers
+	// for one application (Session.FidelityStudy).
+	FidelityRow = exp.FidelityRow
 	// AccuracyRow summarizes one figure's abstraction error.
 	AccuracyRow = exp.AccuracyRow
 	// AccuracySummary aggregates abstraction error by metric.

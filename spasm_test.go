@@ -22,7 +22,7 @@ func TestFacadeLists(t *testing.T) {
 	if len(Apps()) != 5 {
 		t.Errorf("apps = %v", Apps())
 	}
-	if len(Machines()) != 4 {
+	if len(Machines()) != 5 {
 		t.Errorf("machines = %v", Machines())
 	}
 	if len(Figures()) != 20 {

@@ -2,6 +2,7 @@ package spasm_test
 
 import (
 	"regexp"
+	"strings"
 	"testing"
 
 	"spasm"
@@ -36,7 +37,7 @@ func TestSpecKeyDefaultInsensitivity(t *testing.T) {
 // documented fixed field order.
 func TestSpecKeyStable(t *testing.T) {
 	s := spasm.Spec{App: "is", Scale: spasm.Small, Seed: 7, Machine: spasm.LogP, Topology: "mesh", P: 16}
-	want := "app=is scale=small seed=7 machine=logp topo=mesh p=16 port=combined proto=berkeley"
+	want := "app=is scale=small seed=7 machine=logp topo=mesh p=16 port=combined proto=berkeley adaptive=false esc=0"
 	for i := 0; i < 3; i++ {
 		if got := s.Key(); got != want {
 			t.Fatalf("call %d: Key() = %q, want %q", i, got, want)
@@ -56,6 +57,9 @@ func TestSpecKeyDiscriminates(t *testing.T) {
 		{App: "cg", Scale: spasm.Small, Seed: 1, Machine: spasm.Target, Topology: "full", P: 16},
 		{App: "cg", Scale: spasm.Small, Seed: 1, Machine: spasm.Target, Topology: "full", P: 8, PortMode: spasm.PerClassGap},
 		{App: "cg", Scale: spasm.Small, Seed: 1, Machine: spasm.Target, Topology: "full", P: 8, Protocol: spasm.MSIProtocol},
+		{App: "cg", Scale: spasm.Small, Seed: 1, Machine: spasm.Flow, Topology: "full", P: 8},
+		{App: "cg", Scale: spasm.Small, Seed: 1, Machine: spasm.Flow, Topology: "full", P: 8, Adaptive: true},
+		{App: "cg", Scale: spasm.Small, Seed: 1, Machine: spasm.Flow, Topology: "full", P: 8, Adaptive: true, EscalatePct: 60},
 	}
 	seen := map[string]bool{base.Key(): true}
 	for i, v := range variants {
@@ -82,6 +86,53 @@ func TestSpecValidate(t *testing.T) {
 	}
 	if err := (spasm.Spec{App: "mg", P: 2}).Validate(); err != nil {
 		t.Fatalf("extension workload rejected: %v", err)
+	}
+	if err := (spasm.Spec{App: "fft", Adaptive: true, Machine: spasm.Flow, P: 4}).Validate(); err != nil {
+		t.Fatalf("adaptive flow spec rejected: %v", err)
+	}
+}
+
+// TestSpecValidateEnums: every enumerated field rejects out-of-range
+// values with an error that names the valid choices.
+func TestSpecValidateEnums(t *testing.T) {
+	ok := spasm.Spec{App: "fft", Machine: spasm.Flow, P: 4}
+	cases := []struct {
+		name string
+		spec spasm.Spec
+		want string // substring the error must carry: the valid choices
+	}{
+		{"scale", func(s spasm.Spec) spasm.Spec { s.Scale = 9; return s }(ok), "tiny, small, medium"},
+		{"machine", func(s spasm.Spec) spasm.Spec { s.Machine = 99; return s }(ok), "flow"},
+		{"topology", func(s spasm.Spec) spasm.Spec { s.Topology = "star"; return s }(ok), "torus"},
+		{"portmode", func(s spasm.Spec) spasm.Spec { s.PortMode = 7; return s }(ok), "combined"},
+		{"protocol", func(s spasm.Spec) spasm.Spec { s.Protocol = 9; return s }(ok), "berkeley, msi, update"},
+		{"escalate-low", func(s spasm.Spec) spasm.Spec { s.Adaptive = true; s.EscalatePct = -1; return s }(ok), "0-100"},
+		{"escalate-high", func(s spasm.Spec) spasm.Spec { s.Adaptive = true; s.EscalatePct = 101; return s }(ok), "0-100"},
+		{"adaptive-machine", func(s spasm.Spec) spasm.Spec { s.Machine = spasm.Target; s.Adaptive = true; return s }(ok), "flow"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil {
+			t.Errorf("%s: invalid spec accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not list valid choices (want substring %q)", c.name, err, c.want)
+		}
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("base spec invalid: %v", err)
+	}
+}
+
+// TestSpecAdaptiveCanonical: EscalatePct without Adaptive is inert and
+// must not split the content address.
+func TestSpecAdaptiveCanonical(t *testing.T) {
+	a := spasm.Spec{App: "fft", Machine: spasm.Flow, P: 4}
+	b := a
+	b.EscalatePct = 40
+	if a.Key() != b.Key() {
+		t.Fatalf("inert EscalatePct split the key:\n  %q\n  %q", a.Key(), b.Key())
 	}
 }
 
