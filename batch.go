@@ -86,6 +86,11 @@ func RunSpecControlled(spec Spec, pool *RunPool, ctl RunControl) (*Result, error
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if ctl.Workers == 0 {
+		// The spec's Workers knob reaches the engine through RunControl;
+		// an explicit ctl.Workers wins over the spec's.
+		ctl.Workers = spec.Workers
+	}
 	if spec.Adaptive {
 		return runAdaptive(spec, pool, ctl)
 	}

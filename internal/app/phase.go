@@ -100,7 +100,11 @@ func (p *Proc) closePhase() {
 	for b := range dt {
 		dt[b] = p.St.Time[b] - p.phaseSnap[b]
 	}
-	p.Ctx.Phases.add(p.phase, dt, p.Now()-p.phaseT0)
+	// The profile map is shared across processors: commit through the
+	// ordered gate so parallel runs accumulate it in dispatch order.
+	p.S.Ordered(func() {
+		p.Ctx.Phases.add(p.phase, dt, p.Now()-p.phaseT0)
+	})
 	p.phase = ""
 }
 

@@ -34,6 +34,13 @@ type RunControl struct {
 	// Cancel, when non-nil, aborts the run with ErrRunCanceled once the
 	// channel is closed.
 	Cancel <-chan struct{}
+	// Workers > 1 requests the conservative parallel execution mode:
+	// span bodies overlap on up to Workers goroutines while all shared
+	// state commits in sequential dispatch order, so results are
+	// bit-identical to a sequential run.  The engine falls back to the
+	// sequential kernel when the machine or instrumentation is
+	// incompatible (see Result.Par).  0 or 1 means sequential.
+	Workers int
 }
 
 func (c RunControl) enabled() bool { return c.Timeout > 0 || c.Cancel != nil }
@@ -88,6 +95,11 @@ type Result struct {
 	// the run started on, whether the contention threshold tripped, and
 	// which tier produced the statistics this Result carries.
 	Escalation *Escalation
+	// Par reports the parallel-execution outcome when RunControl.Workers
+	// requested it (nil otherwise): whether the run actually executed in
+	// windowed parallel mode, or why it fell back to the sequential
+	// kernel.  Either way the statistics are identical.
+	Par *sim.ParReport
 }
 
 // Escalation is the record of one adaptive-fidelity decision.  A run
@@ -270,8 +282,30 @@ func runOn(prog Program, cfg machine.Config, space *mem.Space, eng *sim.Engine,
 			p := &Proc{ID: i, S: sp, M: m, St: &run.Procs[i], Ctx: ctx}
 			prog.Body(p)
 			p.closePhase()
-			run.Finish(i, sp.Now())
+			// The run totals are shared: commit them in dispatch order.
+			sp.Ordered(func() { run.Finish(i, sp.Now()) })
 		})
+	}
+
+	if ctl.Workers > 1 {
+		// Arm the conservative parallel mode.  The engine still decides
+		// at Run time (probes set Tick, watchdogs set MaxTime, small
+		// machines have too few processes); machine decorators observe
+		// call order, which windowed execution does not preserve outside
+		// ordered sections, so they force the sequential kernel.
+		if wrap != nil {
+			eng.ForceSequential("machine-decorator")
+		}
+		plan := machine.ParPlanFor(cfg, ctl.Workers)
+		if plan.Fallback != "" {
+			eng.ForceSequential(plan.Fallback)
+		}
+		eng.SetParallel(ctl.Workers, plan.Lookahead, plan.DomainOf)
+		if eng.WillRunParallel() {
+			// Span bodies resolve homes outside ordered sections; freeze
+			// the memo so those lookups are read-only.
+			space.FreezeHomes()
+		}
 	}
 
 	var timedOut, wasCanceled atomic.Bool
@@ -338,6 +372,9 @@ func runOn(prog Program, cfg machine.Config, space *mem.Space, eng *sim.Engine,
 		Machine: m,
 		Space:   space,
 		Phases:  ctx.Phases,
+	}
+	if rep := eng.ParReport(); rep.Requested > 1 {
+		res.Par = &rep
 	}
 	if inst != nil {
 		inst.Finish(res)

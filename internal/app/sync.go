@@ -67,11 +67,17 @@ func (l *SpinLock) Lock(p *Proc) {
 	spins := 0
 	for {
 		p.Read(l.addr) // test
-		if !l.held {
-			// The set half of the test&set: claim, then pay the
-			// write that makes the claim globally visible.
-			l.held = true
-			l.owner = p.ID
+		var won bool
+		p.S.Ordered(func() {
+			if !l.held {
+				// The set half of the test&set: claim the word.
+				l.held = true
+				l.owner = p.ID
+				won = true
+			}
+		})
+		if won {
+			// Pay the write that makes the claim globally visible.
 			p.Write(l.addr)
 			p.St.LockOps++
 			return
@@ -83,9 +89,12 @@ func (l *SpinLock) Lock(p *Proc) {
 		}
 		// Park until the holder's release.  Materialize local time
 		// first and re-check: a release during the flush must not be
-		// missed (park-after-check is atomic with enqueueing).
+		// missed (the re-check and Wait's enqueue are one span, so they
+		// are atomic against the releaser's sections).
 		p.S.FlushLag()
-		if l.held {
+		var held bool
+		p.S.Ordered(func() { held = l.held })
+		if held {
 			t0 := p.Now()
 			l.q.Wait(p.S)
 			p.St.Add(stats.Sync, p.Now()-t0)
@@ -98,13 +107,20 @@ func (l *SpinLock) Lock(p *Proc) {
 // and wakes any parked waiters to re-contend.
 func (l *SpinLock) Unlock(p *Proc) {
 	p.S.FlushLag()
-	if !l.held || l.owner != p.ID {
+	var bad bool
+	p.S.Ordered(func() {
+		if !l.held || l.owner != p.ID {
+			bad = true
+			return
+		}
+		l.held = false
+		l.owner = -1
+	})
+	if bad {
 		panic("app: Unlock of lock not held by " + p.S.Name)
 	}
-	l.held = false
-	l.owner = -1
 	p.Write(l.addr)
-	l.q.WakeAll()
+	p.S.Ordered(func() { l.q.WakeAll() })
 }
 
 // Flag is a one-word condition variable: consumers wait for a producer's
@@ -137,7 +153,9 @@ func (f *Flag) Wait(p *Proc) {
 	spins := 0
 	for {
 		p.Read(f.addr)
-		if f.set {
+		var set bool
+		p.S.Ordered(func() { set = f.set })
+		if set {
 			return
 		}
 		if spins < SpinRounds {
@@ -147,7 +165,8 @@ func (f *Flag) Wait(p *Proc) {
 		}
 		// Flush-then-recheck so a Set during the flush is not missed.
 		p.S.FlushLag()
-		if !f.set {
+		p.S.Ordered(func() { set = f.set })
+		if !set {
 			t0 := p.Now()
 			f.q.Wait(p.S)
 			p.St.Add(stats.Sync, p.Now()-t0)
@@ -159,15 +178,15 @@ func (f *Flag) Wait(p *Proc) {
 // Set raises the flag with an invalidating write and wakes waiters.
 func (f *Flag) Set(p *Proc) {
 	p.S.FlushLag()
-	f.set = true
+	p.S.Ordered(func() { f.set = true })
 	p.Write(f.addr)
-	f.q.WakeAll()
+	p.S.Ordered(func() { f.q.WakeAll() })
 }
 
 // Clear lowers the flag (for reuse across phases).
 func (f *Flag) Clear(p *Proc) {
 	p.S.FlushLag()
-	f.set = false
+	p.S.Ordered(func() { f.set = false })
 	p.Write(f.addr)
 }
 
@@ -203,27 +222,35 @@ func (c *Ctx) NewBarrier(name string, n, home int) *Barrier {
 // Arrive synchronizes the calling processor with the other n-1.
 func (b *Barrier) Arrive(p *Proc) {
 	p.S.FlushLag() // arrival order is defined by materialized local time
-	my := !b.sense
+	var my bool
+	p.S.Ordered(func() { my = !b.sense })
 
 	b.lock.Lock(p)
 	p.Read(b.countAddr)
-	b.count++
-	last := b.count == b.n
+	var last bool
+	p.S.Ordered(func() {
+		b.count++
+		last = b.count == b.n
+	})
 	p.Write(b.countAddr)
 	b.lock.Unlock(p)
 
 	if last {
-		b.count = 0
-		b.sense = my
+		p.S.Ordered(func() {
+			b.count = 0
+			b.sense = my
+		})
 		p.Write(b.flagAddr) // release write invalidates all spinners
-		b.q.WakeAll()
+		p.S.Ordered(func() { b.q.WakeAll() })
 		p.St.BarrierOps++
 		return
 	}
 	spins := 0
 	for {
 		p.Read(b.flagAddr)
-		if b.sense == my {
+		var released bool
+		p.S.Ordered(func() { released = b.sense == my })
+		if released {
 			break
 		}
 		if spins < SpinRounds {
@@ -234,7 +261,8 @@ func (b *Barrier) Arrive(p *Proc) {
 		// Flush-then-recheck so a release during the flush is not
 		// missed.
 		p.S.FlushLag()
-		if b.sense != my {
+		p.S.Ordered(func() { released = b.sense == my })
+		if !released {
 			t0 := p.Now()
 			b.q.Wait(p.S)
 			p.St.Add(stats.Sync, p.Now()-t0)

@@ -1,0 +1,77 @@
+package machine
+
+import (
+	"spasm/internal/par"
+	"spasm/internal/sim"
+)
+
+// ParPlan is a machine's domain/lookahead plan for the conservative
+// parallel execution mode: how processes partition into clock-vector
+// domains and how far ahead of the oldest incomplete span the release
+// window may reach.  The lookahead is derived from the backend's minimum
+// cross-domain interaction latency; it is purely a throughput knob — the
+// kernel's ordered commit gate alone guarantees bit-identical results —
+// so a generous bound costs nothing in correctness (see internal/sim's
+// parallel mode).
+type ParPlan struct {
+	// Domains is the clock-vector width (0 when Fallback is set).
+	Domains int
+	// DomainOf maps a process ID to its domain.
+	DomainOf func(procID int) int
+	// Lookahead is the release-window depth in simulated time.
+	Lookahead sim.Time
+	// Fallback, when non-empty, says why this machine kind cannot run in
+	// windowed mode and must use the sequential kernel.
+	Fallback string
+}
+
+// ParPlanFor derives the parallel plan for a machine configuration and
+// worker count.  Per kind:
+//
+//   - Ideal: processes interact only through synchronization objects, so
+//     the effective lookahead is unbounded.
+//   - LogP: every cross-node interaction is a network round trip costing
+//     at least the latency parameter L, so L is the minimum cross-domain
+//     link latency.
+//   - Flow: the cheapest cross-node message is the control packet,
+//     CtrlBytes at the link byte time.
+//   - Target, CLogP: the coherence engine interleaves directory locking
+//     and protocol messages *inside* a single access — zero-latency
+//     interactions between spans — so the lookahead collapses and the
+//     run falls back to the sequential kernel.
+//
+// Domains partition process IDs contiguously (par.Partition), which
+// groups fabric links by topology region: a contiguous ID range is a
+// row block of the mesh/torus, an arc of the ring, or a subcube of the
+// hypercube, and a link belongs to the domain of its endpoint nodes.
+func ParPlanFor(cfg Config, workers int) ParPlan {
+	cfg = cfg.withDefaults()
+	var look sim.Time
+	switch cfg.Kind {
+	case Ideal:
+		look = 1 << 60 // no cross-domain interactions at all
+	case LogP:
+		look = cfg.L
+	case Flow:
+		look = sim.Time(cfg.Costs.CtrlBytes) * cfg.LinkByteTime
+	case Target, CLogP:
+		return ParPlan{Fallback: "zero-lookahead inline coherence"}
+	default:
+		return ParPlan{Fallback: "unknown machine kind"}
+	}
+	if look <= 0 {
+		return ParPlan{Fallback: "zero-lookahead"}
+	}
+	d := workers
+	if cfg.P > 0 && d > cfg.P {
+		d = cfg.P
+	}
+	if d < 1 {
+		d = 1
+	}
+	return ParPlan{
+		Domains:   d,
+		DomainOf:  par.Partition(cfg.P, d),
+		Lookahead: look,
+	}
+}

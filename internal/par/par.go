@@ -1,0 +1,237 @@
+// Package par holds the core data structures of the conservative
+// parallel execution mode of the discrete-event kernel: span keys, the
+// per-domain clock vector, the window release policy, and the domain
+// partition helper.
+//
+// The parallel mode (internal/sim's parallel runner) overlaps the
+// *bodies* of event spans — the stretches of host execution between one
+// resumption of a simulated process and its next blocking point — while
+// every touch of shared simulation state commits through an ordered
+// gate.  The gate grants commit rights to the oldest incomplete span in
+// (at, seq) order, which is exactly the order the sequential kernel
+// dispatches events in, so a parallel run reproduces the sequential
+// execution bit for bit.  This package is deliberately free of engine
+// types (it deals in raw int64/uint64 keys) so the simulation kernel can
+// depend on it without a cycle, and so the structures are testable in
+// isolation.
+package par
+
+import "math"
+
+// Key identifies one event span by its dispatch coordinates: the
+// simulated timestamp and the engine-wide event sequence number that
+// breaks timestamp ties.  Keys order identically to the sequential
+// kernel's dispatch order.
+type Key struct {
+	At  int64
+	Seq uint64
+}
+
+// Less reports whether k dispatches before o in (at, seq) order.
+func (k Key) Less(o Key) bool {
+	if k.At != o.At {
+		return k.At < o.At
+	}
+	return k.Seq < o.Seq
+}
+
+// entry is one incomplete span tracked by the clock vector.
+type entry struct {
+	key Key
+	id  int // owner tag (the engine uses the process index)
+}
+
+// domHeap is a min-heap of incomplete spans within one domain.
+type domHeap struct {
+	s []entry
+}
+
+func (h *domHeap) push(e entry) {
+	h.s = append(h.s, e)
+	s := h.s
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].key.Less(s[parent].key) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *domHeap) popMin() entry {
+	s := h.s
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = entry{}
+	h.s = s[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[r].key.Less(s[l].key) {
+			m = r
+		}
+		if !s[m].key.Less(s[i].key) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}
+
+// Clocks is the barrier-free clock vector of a parallel window: one
+// min-heap of incomplete spans per domain.  The minimum over all
+// domains is the oldest incomplete span — the only span the commit
+// gate may grant — and each domain's own minimum is that domain's
+// clock.  There is no barrier: domains insert and remove independently
+// as spans are released and retired, and the global minimum is read on
+// demand.
+type Clocks struct {
+	doms []domHeap
+	size int
+}
+
+// NewClocks returns a clock vector over the given number of domains.
+func NewClocks(domains int) *Clocks {
+	if domains < 1 {
+		domains = 1
+	}
+	return &Clocks{doms: make([]domHeap, domains)}
+}
+
+// Domains reports the width of the vector.
+func (c *Clocks) Domains() int { return len(c.doms) }
+
+// Size reports the number of incomplete spans across all domains.
+func (c *Clocks) Size() int { return c.size }
+
+// Insert records an incomplete span with the given key in dom.
+func (c *Clocks) Insert(dom int, k Key, id int) {
+	c.doms[dom].push(entry{key: k, id: id})
+	c.size++
+}
+
+// RemoveMin retires dom's oldest incomplete span.  The parallel kernel
+// only ever retires the *global* minimum (spans complete through the
+// ordered gate, oldest first), which is necessarily also its domain's
+// minimum.
+func (c *Clocks) RemoveMin(dom int) {
+	c.doms[dom].popMin()
+	c.size--
+}
+
+// Min returns the oldest incomplete span across all domains and its
+// owner tag.  ok is false when no span is incomplete.
+func (c *Clocks) Min() (k Key, id int, ok bool) {
+	for d := range c.doms {
+		if len(c.doms[d].s) == 0 {
+			continue
+		}
+		if e := c.doms[d].s[0]; !ok || e.key.Less(k) {
+			k, id, ok = e.key, e.id, true
+		}
+	}
+	return k, id, ok
+}
+
+// Clock reports dom's own clock: the key of its oldest incomplete span.
+// ok is false when the domain has none.
+func (c *Clocks) Clock(dom int) (Key, bool) {
+	if len(c.doms[dom].s) == 0 {
+		return Key{}, false
+	}
+	return c.doms[dom].s[0].key, true
+}
+
+// Reset empties the vector in place, keeping backing arrays.
+func (c *Clocks) Reset() {
+	for d := range c.doms {
+		s := c.doms[d].s
+		for i := range s {
+			s[i] = entry{}
+		}
+		c.doms[d].s = s[:0]
+	}
+	c.size = 0
+}
+
+// Horizon is the window bound derived from the oldest incomplete span's
+// timestamp and the backend lookahead, saturating instead of wrapping.
+func Horizon(minAt, lookahead int64) int64 {
+	h := minAt + lookahead
+	if lookahead > 0 && h < minAt {
+		return math.MaxInt64
+	}
+	return h
+}
+
+// Policy is the release rule of a conservative window: how many spans
+// may run at once and how far past the oldest incomplete span the
+// window extends.
+type Policy struct {
+	// Workers bounds the number of concurrently released spans (the
+	// worker-pool width); forced releases may exceed it.
+	Workers int
+	// Lookahead is the backend's minimum cross-domain interaction
+	// latency: events within Lookahead of the oldest incomplete span
+	// are safe to release.
+	Lookahead int64
+}
+
+// Release decides whether the event at the head of the heap may be
+// released into the window.  top is the head event's key; min is the
+// oldest incomplete span (valid only when anyRunning); running counts
+// incomplete spans.
+//
+// Three rules, in priority order:
+//
+//  1. Forced: an event older than the oldest incomplete span must be
+//     released regardless of capacity — the gate cannot grant that
+//     span's section until the older event's span exists and retires,
+//     so withholding it would deadlock the window.
+//  2. Idle: with nothing running, the head event is released
+//     unconditionally (it is the global minimum; this is how a window
+//     reopens).
+//  3. Windowed: otherwise the event is released only while the worker
+//     pool has capacity and the event lies within the lookahead horizon
+//     of the oldest incomplete span.
+func (p Policy) Release(top Key, min Key, anyRunning bool, running int) bool {
+	if anyRunning && top.Less(min) {
+		return true // forced: grant progress depends on it
+	}
+	if !anyRunning {
+		return true // idle: reopen the window at the head event
+	}
+	if running >= p.Workers {
+		return false
+	}
+	return top.At <= Horizon(min.At, p.Lookahead)
+}
+
+// Partition maps p processes onto at most d contiguous domains and
+// returns the assignment function.  Contiguous ranges of process IDs
+// are also contiguous regions of every supported topology (rows of the
+// mesh/torus, arcs of the ring, subcubes of the hypercube), so the
+// partition doubles as the topology-region grouping of fabric links:
+// a link's endpoints map to the domains of its endpoint nodes.
+func Partition(p, d int) func(int) int {
+	if d > p {
+		d = p
+	}
+	if d < 1 {
+		d = 1
+	}
+	return func(id int) int {
+		if id < 0 || id >= p {
+			return 0
+		}
+		return id * d / p
+	}
+}

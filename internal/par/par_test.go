@@ -1,0 +1,172 @@
+package par
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestKeyLess(t *testing.T) {
+	cases := []struct {
+		a, b Key
+		want bool
+	}{
+		{Key{1, 0}, Key{2, 0}, true},
+		{Key{2, 0}, Key{1, 5}, false},
+		{Key{1, 1}, Key{1, 2}, true},
+		{Key{1, 2}, Key{1, 2}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("Less(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestClocksMinAgainstReference drives a randomized insert/remove-min
+// sequence and checks the vector's global minimum against a flat sorted
+// reference at every step.
+func TestClocksMinAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const domains = 4
+	c := NewClocks(domains)
+	type ref struct {
+		key Key
+		dom int
+	}
+	var live []ref
+	seq := uint64(0)
+	for step := 0; step < 2000; step++ {
+		if len(live) == 0 || rng.Intn(3) != 0 {
+			seq++
+			k := Key{At: int64(rng.Intn(50)), Seq: seq}
+			d := rng.Intn(domains)
+			c.Insert(d, k, int(seq))
+			live = append(live, ref{k, d})
+		} else {
+			// Remove the global minimum, as the gate does.
+			sort.Slice(live, func(i, j int) bool { return live[i].key.Less(live[j].key) })
+			min := live[0]
+			c.RemoveMin(min.dom)
+			live = live[1:]
+		}
+		if c.Size() != len(live) {
+			t.Fatalf("step %d: size %d, want %d", step, c.Size(), len(live))
+		}
+		gotK, _, ok := c.Min()
+		if len(live) == 0 {
+			if ok {
+				t.Fatalf("step %d: Min reported %v on empty vector", step, gotK)
+			}
+			continue
+		}
+		wantK := live[0].key
+		for _, r := range live[1:] {
+			if r.key.Less(wantK) {
+				wantK = r.key
+			}
+		}
+		if !ok || gotK != wantK {
+			t.Fatalf("step %d: Min = %v (ok=%v), want %v", step, gotK, ok, wantK)
+		}
+	}
+}
+
+func TestClocksPerDomainClock(t *testing.T) {
+	c := NewClocks(2)
+	if _, ok := c.Clock(0); ok {
+		t.Fatal("empty domain reported a clock")
+	}
+	c.Insert(0, Key{10, 1}, 0)
+	c.Insert(0, Key{5, 2}, 1)
+	c.Insert(1, Key{7, 3}, 2)
+	if k, ok := c.Clock(0); !ok || k != (Key{5, 2}) {
+		t.Fatalf("domain 0 clock = %v, want {5 2}", k)
+	}
+	if k, ok := c.Clock(1); !ok || k != (Key{7, 3}) {
+		t.Fatalf("domain 1 clock = %v, want {7 3}", k)
+	}
+	if k, id, ok := c.Min(); !ok || k != (Key{5, 2}) || id != 1 {
+		t.Fatalf("global min = %v id=%d, want {5 2} id=1", k, id)
+	}
+	c.Reset()
+	if c.Size() != 0 {
+		t.Fatalf("size after Reset = %d", c.Size())
+	}
+	if _, _, ok := c.Min(); ok {
+		t.Fatal("Min reported a span after Reset")
+	}
+}
+
+func TestHorizonSaturates(t *testing.T) {
+	if h := Horizon(10, 5); h != 15 {
+		t.Fatalf("Horizon(10,5) = %d", h)
+	}
+	if h := Horizon(math.MaxInt64-2, 100); h != math.MaxInt64 {
+		t.Fatalf("Horizon near overflow = %d, want MaxInt64", h)
+	}
+}
+
+func TestPolicyRelease(t *testing.T) {
+	pol := Policy{Workers: 2, Lookahead: 10}
+	min := Key{At: 100, Seq: 50}
+
+	// Forced: older than the oldest incomplete span, even at capacity.
+	if !pol.Release(Key{90, 10}, min, true, 2) {
+		t.Error("event older than the window minimum must be forced out")
+	}
+	// Idle: nothing running releases unconditionally.
+	if !pol.Release(Key{1000, 99}, Key{}, false, 0) {
+		t.Error("idle window must release the head event")
+	}
+	// Windowed: inside horizon with capacity.
+	if !pol.Release(Key{105, 60}, min, true, 1) {
+		t.Error("in-horizon event with capacity must release")
+	}
+	// At capacity, not forced: hold.
+	if pol.Release(Key{105, 60}, min, true, 2) {
+		t.Error("in-horizon event must wait when the pool is full")
+	}
+	// Beyond horizon: hold.
+	if pol.Release(Key{111, 60}, min, true, 1) {
+		t.Error("event beyond the lookahead horizon must wait")
+	}
+	// Zero lookahead degenerates to same-timestamp batching.
+	tight := Policy{Workers: 4, Lookahead: 0}
+	if !tight.Release(Key{100, 60}, min, true, 1) {
+		t.Error("same-timestamp event must release under zero lookahead")
+	}
+	if tight.Release(Key{101, 60}, min, true, 1) {
+		t.Error("later event must wait under zero lookahead")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	domOf := Partition(8, 4)
+	want := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	for id, w := range want {
+		if got := domOf(id); got != w {
+			t.Errorf("Partition(8,4)(%d) = %d, want %d", id, got, w)
+		}
+	}
+	// More domains than procs clamps; ranges stay contiguous and cover
+	// all domains up to p.
+	domOf = Partition(3, 8)
+	seen := map[int]bool{}
+	prev := -1
+	for id := 0; id < 3; id++ {
+		d := domOf(id)
+		if d < prev {
+			t.Fatalf("partition not monotone at %d", id)
+		}
+		prev = d
+		seen[d] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Partition(3,8) used %d domains, want 3", len(seen))
+	}
+	if domOf(-1) != 0 || domOf(99) != 0 {
+		t.Fatal("out-of-range ids must map to domain 0")
+	}
+}

@@ -41,7 +41,44 @@ type RunDoc struct {
 	// through an adaptive spec; absent otherwise.
 	Escalation *EscalationDoc `json:"escalation,omitempty"`
 
+	// Host carries the run's host-side (non-deterministic) measurements.
+	// RunJSON never sets it — the spasmd result cache and the determinism
+	// goldens stay byte-identical — callers that want it (cmd/spasm
+	// -json) attach it with AttachHost after conversion.
+	Host *HostDoc `json:"host,omitempty"`
+
 	Procs []ProcDoc `json:"procs"`
+}
+
+// HostDoc is the host-side measurement block of a RunDoc: wall-clock
+// cost and simulation rate, plus the parallel-execution outcome when the
+// run requested one.  Everything here varies run to run; it is excluded
+// from cached and golden documents by construction (see RunDoc.Host).
+type HostDoc struct {
+	WallMS       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Workers is the requested parallel worker count (0 when the run
+	// never asked for parallel execution).
+	Workers int `json:"workers,omitempty"`
+	// Parallel reports whether the windowed parallel kernel actually ran.
+	Parallel bool `json:"parallel,omitempty"`
+	// Fallback is the reason a requested parallel run used the
+	// sequential kernel instead (empty when Parallel or never requested).
+	Fallback string `json:"fallback,omitempty"`
+}
+
+// AttachHost fills doc.Host from the result's host-side measurements.
+func AttachHost(doc *RunDoc, res *app.Result) {
+	h := &HostDoc{
+		WallMS:       float64(res.Stats.Wall.Microseconds()) / 1e3,
+		EventsPerSec: res.Stats.EventsPerSec(),
+	}
+	if par := res.Par; par != nil {
+		h.Workers = par.Requested
+		h.Parallel = par.Parallel
+		h.Fallback = par.Fallback
+	}
+	doc.Host = h
 }
 
 // EscalationDoc is the JSON form of one adaptive-fidelity decision.

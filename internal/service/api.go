@@ -29,12 +29,19 @@ type RunRequest struct {
 	// field records the decision either way.
 	Adaptive    bool `json:"adaptive,omitempty"`
 	EscalatePct int  `json:"escalate_pct,omitempty"`
+
+	// Workers requests conservative parallel host execution of the run
+	// (bounded by spasm.MaxWorkers; 0 or 1 means sequential).  Results
+	// are bit-identical either way, so Workers does not change the run's
+	// content address: two requests differing only in workers share one
+	// run ID and one cache entry.
+	Workers int `json:"workers,omitempty"`
 }
 
 // Spec converts the wire request to a canonical run spec.
 func (r RunRequest) Spec() (spasm.Spec, error) {
 	spec := spasm.Spec{App: r.App, Seed: r.Seed, P: r.P, Topology: r.Topology,
-		Adaptive: r.Adaptive, EscalatePct: r.EscalatePct}
+		Adaptive: r.Adaptive, EscalatePct: r.EscalatePct, Workers: r.Workers}
 	var err error
 	if r.Scale == "" {
 		spec.Scale = spasm.Small
@@ -72,6 +79,7 @@ func RequestFromSpec(s spasm.Spec) RunRequest {
 		Protocol:    c.Protocol.String(),
 		Adaptive:    c.Adaptive,
 		EscalatePct: c.EscalatePct,
+		Workers:     c.Workers,
 	}
 }
 

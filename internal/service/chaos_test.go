@@ -1,7 +1,9 @@
 package service_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -13,6 +15,7 @@ import (
 
 	"spasm"
 	"spasm/internal/faults"
+	"spasm/internal/report"
 	"spasm/internal/service"
 	"spasm/internal/service/client"
 )
@@ -331,4 +334,116 @@ func TestShutdownSubmitRace(t *testing.T) {
 		close(start)
 		wg.Wait()
 	}
+}
+
+// TestChaosParallelRuns: faults and deadlines against runs executing on
+// the conservative parallel kernel.  Injected executor faults fail the
+// job without touching the engine; a deadline interrupts the parallel
+// window mid-flight and the drain discards the pooled context; and after
+// the abuse the same daemon still serves a clean parallel run whose
+// document is byte-identical to the sequential oracle.  Everything must
+// settle to zero leaked goroutines — under -race this doubles as the
+// service-level drain gauntlet.
+func TestChaosParallelRuns(t *testing.T) {
+	defer faults.Reset()
+	base := runtime.NumGoroutine()
+	svc := service.New(service.Config{Workers: 2, RunTimeout: time.Minute, NegativeCacheSize: 64})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	parSpec := func(seed int64) spasm.Spec {
+		return spasm.Spec{App: "cholesky", Scale: spasm.Tiny, Seed: seed,
+			Machine: spasm.LogP, Topology: "mesh", P: 8, Workers: 4}
+	}
+
+	// Every third run hits an injected executor fault.
+	var calls atomic.Int64
+	restore := faults.Set(faults.RunExec, func() error {
+		if calls.Add(1)%3 == 0 {
+			return fmt.Errorf("injected executor fault")
+		}
+		return nil
+	})
+
+	var injected, timedOut, done int
+	for seed := int64(1); seed <= 12; seed++ {
+		j, _, err := svc.Submit(parSpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := svc.Wait(ctx, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case st.State == service.StateDone:
+			done++
+		case strings.Contains(st.Error, "injected executor fault"):
+			injected++
+		case strings.Contains(st.Error, "timeout"):
+			timedOut++
+		default:
+			t.Fatalf("seed %d: state=%s err=%q", seed, st.State, st.Error)
+		}
+	}
+	restore()
+	if injected == 0 {
+		t.Fatal("no injected fault landed")
+	}
+
+	// A slow parallel run under a tight deadline, on its own server so
+	// the timeout failure cannot pollute the main server's negative
+	// cache: the abort happens inside a parallel window and must discard
+	// the pooled context.
+	dsvc := service.New(service.Config{Workers: 1, RunTimeout: 2 * time.Millisecond})
+	slow := spasm.Spec{App: "cholesky", Scale: spasm.Small, Seed: 1,
+		Machine: spasm.LogP, Topology: "mesh", P: 16, Workers: 4}
+	j, _, err := dsvc.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dsvc.Wait(ctx, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateFailed || !strings.Contains(st.Error, "timeout") {
+		t.Fatalf("deadline parallel run: state=%s err=%q, want failed/timeout", st.State, st.Error)
+	}
+	if v := chaosMetric(t, dsvc, "spasmd_pool_contexts_discarded_total"); v < 1 {
+		t.Fatalf("pool_contexts_discarded_total = %v, want >= 1", v)
+	}
+	if err := dsvc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The survivor runs' documents match the sequential oracle.
+	seq := parSpec(1)
+	seq.Workers = 0
+	direct, err := spasm.RunSpec(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(report.RunJSON(direct))
+	j2, _, err := svc.Submit(parSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := svc.Wait(ctx, j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != service.StateDone {
+		t.Fatalf("post-chaos parallel run: state=%s err=%q", st2.State, st2.Error)
+	}
+	if !bytes.Equal([]byte(st2.Result), want) {
+		t.Fatalf("post-chaos parallel document diverged\nseq: %s\npar: %s", want, st2.Result)
+	}
+	if v := chaosMetric(t, svc, "spasmd_runs_parallel_total"); v < 1 {
+		t.Fatalf("spasmd_runs_parallel_total = %v, want >= 1", v)
+	}
+
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, base+2)
 }

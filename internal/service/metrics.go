@@ -45,6 +45,8 @@ type Metrics struct {
 	failed        uint64
 	canceled      uint64 // jobs dropped before execution (all waiters gone)
 	escalated     uint64 // adaptive runs that tripped onto the detailed tier
+	runsParallel  uint64 // runs executed on the windowed parallel kernel
+	parFallbacks  uint64 // runs that requested parallel but fell back to sequential
 	timeouts      uint64 // failed jobs whose failure was the run deadline
 	rejected      uint64 // submissions bounced with ErrQueueFull
 	profHits      uint64 // profiles served from the memoized encoding
@@ -95,6 +97,18 @@ func (m *Metrics) runEscalated() {
 	m.mu.Unlock()
 }
 
+// runParallelOutcome records one run that requested parallel execution:
+// either it ran on the windowed kernel or it fell back to sequential.
+func (m *Metrics) runParallelOutcome(parallel bool) {
+	m.mu.Lock()
+	if parallel {
+		m.runsParallel++
+	} else {
+		m.parFallbacks++
+	}
+	m.mu.Unlock()
+}
+
 func (m *Metrics) jobRejected() {
 	m.mu.Lock()
 	m.rejected++
@@ -137,7 +151,7 @@ func (m *Metrics) observe(path string, d time.Duration) {
 // render writes the metrics in the Prometheus text exposition format.
 // Cache, queue, and pool figures are passed in by the Server, which owns
 // them.
-func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evictions uint64, entries int, negHits uint64, negEntries int, pool poolStats) {
+func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evictions uint64, entries int, negHits uint64, negEntries int, pool poolStats, poolKinds map[string]poolStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	fmt.Fprintf(b, "spasmd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
@@ -157,6 +171,11 @@ func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evict
 	// Adaptive-fidelity runs that tripped their escalation threshold and
 	// were rerun on the detailed tier.
 	fmt.Fprintf(b, "spasmd_runs_escalated_total %d\n", m.escalated)
+	// Parallel-execution outcomes: runs that asked for workers > 1 and ran
+	// on the windowed kernel, vs ones that fell back to the sequential
+	// kernel (no lookahead, probes attached, ...).
+	fmt.Fprintf(b, "spasmd_runs_parallel_total %d\n", m.runsParallel)
+	fmt.Fprintf(b, "spasmd_par_fallbacks_total %d\n", m.parFallbacks)
 	fmt.Fprintf(b, "spasmd_profile_cache_hits_total %d\n", m.profHits)
 	fmt.Fprintf(b, "spasmd_profile_cache_misses_total %d\n", m.profMiss)
 	fmt.Fprintf(b, "spasmd_profiles_coalesced_total %d\n", m.profCoalesced)
@@ -172,6 +191,21 @@ func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evict
 	fmt.Fprintf(b, "spasmd_pool_misses_total %d\n", pool.Misses)
 	fmt.Fprintf(b, "spasmd_pool_contexts_live %d\n", pool.Live)
 	fmt.Fprintf(b, "spasmd_pool_contexts_discarded_total %d\n", pool.Discarded)
+	// Per-machine-kind breakdown of the same counters, so a pool serving
+	// an adaptive workload shows its flow-tier and detailed populations
+	// apart.
+	kinds := make([]string, 0, len(poolKinds))
+	for k := range poolKinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		ks := poolKinds[k]
+		fmt.Fprintf(b, "spasmd_pool_hits_total{kind=%q} %d\n", k, ks.Hits)
+		fmt.Fprintf(b, "spasmd_pool_misses_total{kind=%q} %d\n", k, ks.Misses)
+		fmt.Fprintf(b, "spasmd_pool_contexts_live{kind=%q} %d\n", k, ks.Live)
+		fmt.Fprintf(b, "spasmd_pool_contexts_discarded_total{kind=%q} %d\n", k, ks.Discarded)
+	}
 
 	paths := make([]string, 0, len(m.byPath))
 	for p := range m.byPath {
@@ -204,8 +238,12 @@ func (s *Server) RenderMetrics() string {
 	negHits, negEntries := s.neg.counters()
 	s.mu.Unlock()
 	ps := s.pool.Stats()
+	byKind := make(map[string]poolStats)
+	for k, ks := range s.pool.StatsByKind() {
+		byKind[k] = poolStats{Hits: ks.Hits, Misses: ks.Misses, Live: ks.Live, Discarded: ks.Discarded}
+	}
 	var b strings.Builder
 	s.metrics.render(&b, s.QueueDepth(), hits, misses, evictions, entries, negHits, negEntries,
-		poolStats{Hits: ps.Hits, Misses: ps.Misses, Live: ps.Live, Discarded: ps.Discarded})
+		poolStats{Hits: ps.Hits, Misses: ps.Misses, Live: ps.Live, Discarded: ps.Discarded}, byKind)
 	return b.String()
 }

@@ -327,6 +327,9 @@ func (s *Server) worker() {
 		if err == nil && res.Escalation != nil && res.Escalation.Tripped {
 			s.metrics.runEscalated()
 		}
+		if err == nil && res.Par != nil {
+			s.metrics.runParallelOutcome(res.Par.Parallel)
+		}
 		if err == nil {
 			if err = faults.Fire(faults.Marshal); err == nil {
 				var doc []byte

@@ -357,3 +357,80 @@ func TestAdaptiveRunOverWire(t *testing.T) {
 		t.Fatalf("metrics page missing spasmd_runs_escalated_total 1:\n%s", page)
 	}
 }
+
+// TestParallelRunOverWire drives the workers wire field end to end: a
+// LogP run with workers executes on the parallel kernel, its RunDoc is
+// byte-identical to a sequential run of the same spec (and carries no
+// host block), the content address ignores workers, and the outcome
+// shows up on /metrics.  A second run on the coherent target machine
+// must land in the fallback counter instead.
+func TestParallelRunOverWire(t *testing.T) {
+	_, cl := newTestService(t, service.Config{Workers: 1, CacheSize: 16})
+	ctx := context.Background()
+
+	req := service.RunRequest{App: "fft", Scale: "tiny", Machine: "logp",
+		Topology: "mesh", P: 8, Workers: 4}
+	st, err := cl.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("parallel run finished %s (%s)", st.State, st.Error)
+	}
+	seq := req
+	seq.Workers = 0
+	seqSpec, err := seq.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSpec, err := req.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqSpec.Hash() != parSpec.Hash() {
+		t.Fatalf("workers changed the content address: %s vs %s", seqSpec.Hash(), parSpec.Hash())
+	}
+	direct, err := spasm.RunSpec(seqSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(report.RunJSON(direct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(st.Result, want) {
+		t.Fatalf("parallel RunDoc diverged from sequential:\nseq: %s\npar: %s", want, st.Result)
+	}
+	if bytes.Contains(st.Result, []byte(`"host"`)) {
+		t.Fatalf("cached RunDoc leaked host-side measurements: %s", st.Result)
+	}
+
+	// The coherent target machine declines the parallel mode.
+	fb := service.RunRequest{App: "fft", Scale: "tiny", Machine: "target", P: 8, Workers: 4}
+	if st, err = cl.Run(ctx, fb); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("fallback run finished %s (%s)", st.State, st.Error)
+	}
+
+	page, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains([]byte(page), []byte("spasmd_runs_parallel_total 1")) {
+		t.Fatalf("metrics page missing spasmd_runs_parallel_total 1:\n%s", page)
+	}
+	if !bytes.Contains([]byte(page), []byte("spasmd_par_fallbacks_total 1")) {
+		t.Fatalf("metrics page missing spasmd_par_fallbacks_total 1:\n%s", page)
+	}
+	if !bytes.Contains([]byte(page), []byte(`spasmd_pool_contexts_live{kind="logp"}`)) {
+		t.Fatalf("metrics page missing per-kind pool gauges:\n%s", page)
+	}
+
+	// An over-limit worker count is rejected at validation.
+	bad := service.RunRequest{App: "fft", Scale: "tiny", P: 8, Workers: spasm.MaxWorkers + 1}
+	if _, err := cl.Run(ctx, bad); err == nil {
+		t.Fatal("service accepted workers beyond the limit")
+	}
+}

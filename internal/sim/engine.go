@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -133,6 +134,27 @@ type Engine struct {
 	// previous clock value — the hook telemetry probes use to close
 	// sampling epochs.  Tick must not call back into the engine.
 	Tick func(now Time)
+
+	// Parallel-mode configuration and per-run outcome (see SetParallel
+	// and parallel.go).  par is non-nil exactly while a parallel Run is
+	// in flight; everything else is per-run configuration or reporting,
+	// cleared by Reset like Tick and MaxTime.
+	pworkers int
+	plook    Time
+	pdomOf   func(procID int) int
+	pforce   string // caller-imposed fallback reason (ForceSequential)
+	par      *parGate
+	// parMu protects all engine state while par != nil (heap, seq, now,
+	// clock vector, per-process release bookkeeping).  Sequential mode
+	// never touches it.
+	parMu   sync.Mutex
+	parRan  bool
+	pfall   string // why a requested parallel run executed sequentially
+	parDoms int
+	parWin  uint64
+	parRel  uint64
+	parSec  uint64
+	parPeak int
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -179,6 +201,20 @@ func (e *Engine) Reset() {
 	e.stop.Store(false)
 	e.aborting = false
 	e.abortErr = nil
+	// Parallel-mode configuration and outcome are per-run state.  par is
+	// nil whenever Run is not in flight, but clear it anyway.
+	e.pworkers = 0
+	e.plook = 0
+	e.pdomOf = nil
+	e.pforce = ""
+	e.par = nil
+	e.parRan = false
+	e.pfall = ""
+	e.parDoms = 0
+	e.parWin = 0
+	e.parRel = 0
+	e.parSec = 0
+	e.parPeak = 0
 	// The done channel may hold an unread result if the previous run was
 	// abandoned; a fresh channel is cheaper than reasoning about drains.
 	e.done = make(chan error, 1)
@@ -206,8 +242,16 @@ func (e *Engine) Procs() []*Proc { return e.procs }
 // schedule enqueues a resumption of p at time at (>= now).  Bumping
 // p.gen invalidates any earlier pending event for p at push time: a
 // stale wakeup is recognized by its generation mismatch when popped, so
-// the queue never needs scanning.
+// the queue never needs scanning.  In parallel mode the heap is shared,
+// so the mutation happens under the gate mutex (and always through the
+// heap — see parScheduleLocked).
 func (e *Engine) schedule(at Time, p *Proc) {
+	if e.par != nil {
+		e.parMu.Lock()
+		e.parScheduleLocked(at, p)
+		e.parMu.Unlock()
+		return
+	}
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %v < now %v", at, e.now))
 	}
@@ -343,17 +387,45 @@ func (e *Engine) runResult() error {
 // inside a running process.  The returned Proc is also passed to fn.
 func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 	p := &Proc{
-		ID:     len(e.procs),
-		Name:   name,
-		eng:    e,
-		resume: make(chan struct{}),
+		Name: name,
+		eng:  e,
+		// resume is buffered: in parallel mode a retiring span can
+		// release its own next event (or a peer's) before the owning
+		// goroutine reaches its receive, and the sender must not block
+		// under the gate mutex.  The generation discipline guarantees at
+		// most one live token per process in either mode.
+		resume: make(chan struct{}, 1),
+		gate:   make(chan struct{}, 1),
 	}
-	e.procs = append(e.procs, p)
-	e.nLive++
+	if e.par != nil {
+		// Mid-run spawn from a granted section: serialize the table
+		// bookkeeping with the gate (parSignalLocked indexes e.procs).
+		e.parMu.Lock()
+		p.ID = len(e.procs)
+		if p.dom = e.pdomOf(p.ID); p.dom < 0 || p.dom >= e.parDoms {
+			p.dom = 0
+		}
+		e.procs = append(e.procs, p)
+		e.nLive++
+		e.parMu.Unlock()
+	} else {
+		p.ID = len(e.procs)
+		e.procs = append(e.procs, p)
+		e.nLive++
+	}
 	go func() {
 		<-p.resume // wait for the engine to dispatch our start event
 		defer func() {
-			if r := recover(); r != nil {
+			r := recover()
+			// e.par is stable here: it can only transition to nil while
+			// no span is incomplete, and this process's current span is.
+			// (On the abortSignal unwind path e.par is already nil, with
+			// the transition ordered before our final resumption.)
+			if e.par != nil {
+				e.parTerminate(p, r)
+				return
+			}
+			if r != nil {
 				// Panics raised after the abort began are collateral of
 				// the unwind (cleanup defers running against torn-down
 				// state), not independent failures: recording them would
@@ -376,6 +448,8 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 			fn(p)
 		}
 	}()
+	// In parallel mode the caller is a granted section, so e.now is
+	// stable and schedule serializes the heap push through the gate.
 	e.schedule(e.now, p)
 	return p
 }
@@ -391,6 +465,13 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 // most one channel handoff (zero when a process's next event is its
 // own).
 func (e *Engine) Run() error {
+	if e.pworkers > 1 {
+		if why := e.parFallback(); why != "" {
+			e.pfall = why // requested but incompatible: run sequentially
+		} else {
+			return e.runParallel()
+		}
+	}
 	e.advance(nil)
 	return <-e.done
 }

@@ -1,0 +1,433 @@
+package sim
+
+// Conservative parallel execution mode.
+//
+// The sequential kernel dispatches events strictly in (at, seq) order and
+// runs exactly one process at a time, so every read or write of shared
+// simulation state (machine models, synchronization objects, the event
+// heap itself) happens in that order.  The parallel mode keeps that order
+// for the *shared* state while overlapping everything else: the span of
+// host execution between one resumption of a process and its next
+// blocking point — address computation, machine-model arithmetic, local
+// statistics — runs concurrently on many goroutines, and only the global
+// sections inside a span (anything that can observe or influence another
+// process) serialize through an ordered commit gate.
+//
+// The gate grants commit rights to the globally oldest incomplete span,
+// i.e. the span whose (at, seq) release key is the minimum over the
+// barrier-free clock vector (par.Clocks) *and* not preceded by any event
+// still in the heap.  Because spans are granted in exactly the sequential
+// dispatch order, and because a granted span stays the minimum until it
+// completes (its own schedules produce strictly larger keys, and any
+// older heap event is force-released and retired first — see
+// par.Policy.Release rule 1), every global section of a span is atomic
+// with respect to other spans' sections.  A parallel run therefore
+// produces bit-identical results to the sequential kernel: same event
+// count, same timestamps, same statistics, same RunDocs.
+//
+// Windows: the release policy (par.Policy) throttles how far past the
+// oldest incomplete span new spans are released — Workers bounds the
+// concurrency, and Lookahead (the backend's minimum cross-domain
+// interaction latency) bounds how far ahead in simulated time a released
+// span may sit.  The lookahead is a performance knob, not a correctness
+// condition: correctness comes from the gate alone.
+//
+// Degeneration: when the run is interrupted, a process panics, the event
+// supply drains, or the program deadlocks, the window closes — once no
+// span is incomplete the engine clears parallel mode and hands the run
+// token to the sequential dispatch loop, which drains, unwinds, and
+// terminates through the exact same abort machinery a sequential run
+// uses.  That reuse is what makes mid-window Interrupts leak zero
+// goroutines.
+
+import (
+	"fmt"
+
+	"spasm/internal/par"
+)
+
+// parGate is the ordered commit gate of one parallel run.  Its mutex
+// protects all engine state during parallel execution: the event heap,
+// seq counter, clock vector, per-process release bookkeeping, and the
+// simulated clock.  Global sections do not hold the mutex while running —
+// they hold the *grant* (being the oldest incomplete span), which the
+// mutex only hands over.
+type parGate struct {
+	clocks   *par.Clocks
+	pol      par.Policy
+	stopping bool // no further releases: drain toward sequential mode
+
+	// Telemetry (reported via ParReport after the run).
+	windows  uint64 // release batches that released at least one span
+	releases uint64 // spans released
+	sections uint64 // gate grants (spans that entered a global section)
+	peak     int    // most spans incomplete at once
+}
+
+// mu lives on the Engine rather than the gate so the schedule path can
+// lock it without loading e.par twice; it is only used while par != nil.
+
+// ParReport describes the outcome of the last Run's parallel mode.
+type ParReport struct {
+	Requested int    // workers requested via SetParallel
+	Parallel  bool   // whether the run executed in parallel mode at all
+	Fallback  string // why it did not, or why it degenerated mid-flight
+	Domains   int    // clock-vector width used
+	Windows   uint64 // release batches
+	Releases  uint64 // spans released
+	Sections  uint64 // gate grants
+	Peak      int    // most spans in flight at once
+}
+
+// SetParallel arms the conservative parallel mode for the next Run:
+// workers bounds span concurrency, lookahead is the backend's minimum
+// cross-domain interaction latency (see par.Policy), and domainOf maps a
+// process ID to its clock-vector domain.  With workers <= 1 the engine
+// runs sequentially.  Reset clears the setting.
+//
+// Parallel runs are bit-identical to sequential runs; Run falls back to
+// the sequential kernel whenever a configuration is incompatible with
+// windowed execution (see ParReport.Fallback).
+func (e *Engine) SetParallel(workers int, lookahead Time, domainOf func(procID int) int) {
+	e.pworkers = workers
+	e.plook = lookahead
+	e.pdomOf = domainOf
+}
+
+// ForceSequential makes the next Run use the sequential kernel even if
+// SetParallel was called, recording reason in ParReport.Fallback.  The
+// runner uses it when a run is instrumented in ways the windowed mode
+// cannot reproduce (e.g. machine decorators that trace global order).
+func (e *Engine) ForceSequential(reason string) { e.pforce = reason }
+
+// parFallback reports why the next Run cannot execute in parallel mode,
+// or "" if it can.  The checks mirror the sequential dispatch features
+// that windowed execution does not reproduce.
+func (e *Engine) parFallback() string {
+	switch {
+	case e.pforce != "":
+		return e.pforce
+	case e.pdomOf == nil:
+		return "no-domain-plan"
+	case e.plook <= 0:
+		return "zero-lookahead"
+	case e.Tick != nil:
+		return "tick-hook"
+	case e.MaxTime > 0:
+		return "time-limit-watchdog"
+	case len(e.procs) < 2:
+		return "single-process"
+	}
+	return ""
+}
+
+// WillRunParallel reports whether the next Run would execute in parallel
+// mode as currently configured.
+func (e *Engine) WillRunParallel() bool {
+	return e.pworkers > 1 && e.parFallback() == ""
+}
+
+// ParReport returns the parallel-mode outcome of the last Run.
+func (e *Engine) ParReport() ParReport {
+	return ParReport{
+		Requested: e.pworkers,
+		Parallel:  e.parRan,
+		Fallback:  e.pfall,
+		Domains:   e.parDoms,
+		Windows:   e.parWin,
+		Releases:  e.parRel,
+		Sections:  e.parSec,
+		Peak:      e.parPeak,
+	}
+}
+
+// runParallel executes the run in windowed parallel mode.  It releases
+// the initial window and then waits for the result; after that, all
+// dispatching happens on the process goroutines themselves, exactly as in
+// the sequential kernel — the last retiring span either releases the next
+// window or drains the engine back to sequential mode, which publishes
+// the result through the same done channel.
+func (e *Engine) runParallel() error {
+	d := 1
+	for _, p := range e.procs {
+		p.dom = e.pdomOf(p.ID)
+		if p.dom < 0 {
+			p.dom = 0
+		}
+		if p.dom >= d {
+			d = p.dom + 1
+		}
+	}
+	e.parRan = true
+	e.parDoms = d
+	e.par = &parGate{
+		clocks: par.NewClocks(d),
+		pol:    par.Policy{Workers: e.pworkers, Lookahead: int64(e.plook)},
+	}
+	// Events scheduled before Run (process starts) sit in the sequential
+	// same-timestamp FIFO; parallel mode releases from the heap only, so
+	// migrate them.  Heap order on equal timestamps is seq order — the
+	// FIFO order — so dispatch order is unchanged.
+	for i := e.nowHead; i < len(e.nowQ); i++ {
+		e.heap.push(e.nowQ[i])
+		e.nowQ[i] = event{}
+	}
+	e.nowQ = e.nowQ[:0]
+	e.nowHead = 0
+	e.parMu.Lock()
+	e.parReleaseLocked()
+	e.parMu.Unlock()
+	return <-e.done
+}
+
+// key is p's current span key.
+func (p *Proc) key() par.Key { return par.Key{At: int64(p.at), Seq: p.spanSeq} }
+
+// parScheduleLocked is schedule's core under the gate mutex: same
+// generation discipline as the sequential path, but always through the
+// heap — the nowQ fast path is a sequential-only optimization, and the
+// heap pops in identical (at, seq) order.
+func (e *Engine) parScheduleLocked(at Time, p *Proc) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %v < now %v", at, e.now))
+	}
+	if at > p.sched {
+		p.sched = at
+	}
+	e.seq++
+	p.gen++
+	e.heap.push(event{at: at, seq: e.seq, gen: p.gen, p: p})
+}
+
+// parReleaseLocked releases heap events into the window while the policy
+// allows: stale events are retired unseen (as in sequential dispatch,
+// they do not count), and each released event becomes an incomplete span
+// with a clock-vector entry and a resume token.  Events are counted here,
+// at release — the same non-stale set the sequential kernel counts at
+// dispatch.
+func (e *Engine) parReleaseLocked() {
+	g := e.par
+	if g.stopping {
+		return
+	}
+	released := false
+	for len(e.heap.s) > 0 {
+		top := &e.heap.s[0]
+		if top.gen != top.p.gen {
+			e.heap.pop() // stale wakeup, superseded at push time
+			continue
+		}
+		min, _, any := g.clocks.Min()
+		if !g.pol.Release(par.Key{At: int64(top.at), Seq: top.seq}, min, any, g.clocks.Size()) {
+			break
+		}
+		ev := e.heap.pop()
+		e.Events++
+		q := ev.p
+		q.parked = false
+		q.at = ev.at
+		q.spanSeq = ev.seq
+		g.clocks.Insert(q.dom, par.Key{At: int64(ev.at), Seq: ev.seq}, q.ID)
+		g.releases++
+		if n := g.clocks.Size(); n > g.peak {
+			g.peak = n
+		}
+		released = true
+		q.resume <- struct{}{} // buffered: the span may not be receiving yet
+	}
+	if released {
+		g.windows++
+	}
+}
+
+// parGrantable reports whether p's span may hold the commit grant: it is
+// the oldest incomplete span and no event still in the heap precedes it.
+// (A preceding heap event would dispatch first in the sequential order;
+// the release policy force-releases such events, so the condition is
+// eventually satisfied.)  While draining, heap order no longer matters —
+// the run's outcome is already decided and the remaining spans only need
+// to retire.
+func (e *Engine) parGrantable(p *Proc) bool {
+	g := e.par
+	_, id, ok := g.clocks.Min()
+	if !ok || id != p.ID {
+		return false
+	}
+	if g.stopping {
+		return true
+	}
+	if len(e.heap.s) > 0 {
+		top := &e.heap.s[0]
+		if top.at < p.at || (top.at == p.at && top.seq < p.spanSeq) {
+			return false
+		}
+	}
+	return true
+}
+
+// parSignalLocked hands the gate to the oldest incomplete span if it is
+// waiting and grantable.  Called after every state change that can make a
+// waiter grantable: a span retiring, or stale events popped off the heap.
+func (e *Engine) parSignalLocked() {
+	g := e.par
+	_, id, ok := g.clocks.Min()
+	if !ok {
+		return
+	}
+	p := e.procs[id]
+	if !p.wantGate || !e.parGrantable(p) {
+		return
+	}
+	p.wantGate = false
+	p.gate <- struct{}{} // buffered(1); at most one token outstanding
+}
+
+// enterGate acquires the commit grant for p's current span.  The first
+// global section of a span waits here until the span is the oldest
+// incomplete one; once granted, the grant persists for the rest of the
+// span (all its sections, through retirement), so a multi-section span is
+// atomic with respect to other spans — see the package comment.
+func (p *Proc) enterGate() {
+	if p.granted {
+		return
+	}
+	e := p.eng
+	e.parMu.Lock()
+	g := e.par
+	for {
+		// Force out any heap event older than us (rule 1 of the release
+		// policy); its span must retire before our grant.
+		e.parReleaseLocked()
+		if e.parGrantable(p) {
+			break
+		}
+		// Popping stale events above may have unblocked a different
+		// waiter even though we are still obstructed.
+		e.parSignalLocked()
+		p.wantGate = true
+		e.parMu.Unlock()
+		<-p.gate
+		e.parMu.Lock()
+	}
+	p.granted = true
+	g.sections++
+	if p.at > e.now {
+		// The oldest incomplete span's dispatch time is the sequential
+		// kernel's clock; it advances monotonically across grants.
+		e.now = p.at
+	}
+	e.parMu.Unlock()
+}
+
+// parEnd retires p's current span after its final state transition has
+// committed.  It returns true when the run is still in parallel mode (the
+// caller's goroutine waits for its next release or exits), and false when
+// this retirement drained the engine back to sequential mode — the caller
+// then re-enters the sequential dispatch loop, which ends the run or
+// unwinds it through the ordinary abort machinery.
+func (p *Proc) parEnd() bool {
+	e := p.eng
+	e.parMu.Lock()
+	g := e.par
+	p.granted = false
+	g.clocks.RemoveMin(p.dom)
+	if e.stop.Load() {
+		g.stopping = true // Interrupt mid-window: stop releasing, drain
+	}
+	e.parReleaseLocked()
+	if g.clocks.Size() == 0 && (g.stopping || len(e.heap.s) == 0) {
+		stopped := g.stopping
+		e.parWin = g.windows
+		e.parRel = g.releases
+		e.parSec = g.sections
+		e.parPeak = g.peak
+		if stopped {
+			e.pfall = "drained-mid-flight"
+		}
+		e.par = nil // sequential mode from here on
+		e.parMu.Unlock()
+		if stopped && !e.aborting {
+			if e.failure != nil {
+				e.beginAbort(nil) // the failure itself is the result
+			} else {
+				e.beginAbort(&AbortError{At: e.now})
+			}
+		}
+		return false
+	}
+	e.parSignalLocked()
+	e.parMu.Unlock()
+	return true
+}
+
+// parHold completes the current span: p's next resumption is scheduled at
+// `at`, the span retires, and the goroutine waits for its next release.
+// Mirrors the schedule+block sequence of the sequential Hold family.
+func (p *Proc) parHold(at Time) {
+	e := p.eng
+	p.enterGate() // scheduling mutates the shared heap: a global section
+	e.parMu.Lock()
+	e.parScheduleLocked(at, p)
+	e.parMu.Unlock()
+	if p.parEnd() {
+		<-p.resume
+		if e.aborting {
+			panic(abortSignal{})
+		}
+		return
+	}
+	// Retiring this span drained the run out of parallel mode (it was
+	// interrupted); our own event is still queued, so rejoin the
+	// sequential dispatch loop, which will unwind us.
+	p.block()
+}
+
+// parFail records a real process panic observed in parallel mode and
+// closes the window.  The failing span still retires through the gate in
+// order, so the bookkeeping below stays single-writer.
+func (e *Engine) parFail(p *Proc, r any) {
+	e.parMu.Lock()
+	if e.failure == nil {
+		// p.at is the span's dispatch time — exactly the sequential
+		// kernel's clock when the same panic unwinds there.
+		e.failure = fmt.Errorf("sim: process %q panicked at %v: %v", p.Name, p.at, r)
+	}
+	e.par.stopping = true
+	e.parMu.Unlock()
+}
+
+// parTerminate is the parallel-mode counterpart of Spawn's sequential
+// termination handler: the process's body has returned (or panicked), and
+// its final span retires through the gate so termination bookkeeping
+// lands in sequential order.
+func (e *Engine) parTerminate(p *Proc, r any) {
+	if r != nil {
+		e.parFail(p, r)
+	}
+	p.enterGate() // termination is the span's final global section
+	e.parMu.Lock()
+	p.terminated = true
+	p.gen++ // any still-queued wakeup for p is now stale
+	e.nLive--
+	e.parMu.Unlock()
+	if p.parEnd() {
+		return // other spans drive the run on; this goroutine exits
+	}
+	// Drained out of parallel mode: end the run, report a deadlock, or
+	// unwind the remaining processes — all via the sequential loop.
+	e.advance(p)
+}
+
+// Ordered runs f as a global section of the calling process's current
+// span: f executes with the commit grant held, serialized in (at, seq)
+// dispatch order against every other span's sections.  In sequential mode
+// it is exactly f().  Synchronization objects and machine models use it
+// around every touch of cross-process state.
+func (p *Proc) Ordered(f func()) {
+	if p.eng.par == nil {
+		f()
+		return
+	}
+	p.enterGate()
+	f()
+}

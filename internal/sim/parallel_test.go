@@ -1,0 +1,353 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// trace is a deterministic execution log: every append happens inside an
+// Ordered section, so in a correct parallel run the entries land in
+// exactly the sequential dispatch order.
+type trace struct {
+	log []string
+}
+
+func (t *trace) add(p *Proc, format string, args ...any) {
+	p.Ordered(func() {
+		t.log = append(t.log, fmt.Sprintf("%s@%v: %s", p.Name, p.Now(), fmt.Sprintf(format, args...)))
+	})
+}
+
+// runBoth executes the same program sequentially and in parallel mode and
+// requires identical results: same error, same event count, same final
+// clock, same trace.
+func runBoth(t *testing.T, workers int, lookahead Time, build func(e *Engine, tr *trace)) (*Engine, *trace) {
+	t.Helper()
+
+	seqEng, seqTr := NewEngine(), &trace{}
+	build(seqEng, seqTr)
+	seqErr := seqEng.Run()
+
+	parEng, parTr := NewEngine(), &trace{}
+	build(parEng, parTr)
+	parEng.SetParallel(workers, lookahead, func(id int) int { return id % 2 })
+	if !parEng.WillRunParallel() {
+		t.Fatalf("parallel mode unexpectedly unavailable: %q", parEng.parFallback())
+	}
+	parErr := parEng.Run()
+
+	if (seqErr == nil) != (parErr == nil) || (seqErr != nil && seqErr.Error() != parErr.Error()) {
+		t.Fatalf("result mismatch: sequential %v, parallel %v", seqErr, parErr)
+	}
+	if !parEng.ParReport().Parallel {
+		t.Fatal("run did not execute in parallel mode")
+	}
+	if seqEng.Events != parEng.Events {
+		t.Fatalf("event count mismatch: sequential %d, parallel %d", seqEng.Events, parEng.Events)
+	}
+	if seqEng.Now() != parEng.Now() {
+		t.Fatalf("final clock mismatch: sequential %v, parallel %v", seqEng.Now(), parEng.Now())
+	}
+	if len(seqTr.log) != len(parTr.log) {
+		t.Fatalf("trace length mismatch: sequential %d, parallel %d", len(seqTr.log), len(parTr.log))
+	}
+	for i := range seqTr.log {
+		if seqTr.log[i] != parTr.log[i] {
+			t.Fatalf("trace diverges at %d:\n  sequential: %s\n  parallel:   %s", i, seqTr.log[i], parTr.log[i])
+		}
+	}
+	return parEng, parTr
+}
+
+// TestParallelPingPong alternates two processes through a lock with
+// asymmetric hold times; the trace interleaving is fully determined.
+func TestParallelPingPong(t *testing.T) {
+	eng, tr := runBoth(t, 2, 5, func(e *Engine, tr *trace) {
+		var l Lock
+		for i := 0; i < 2; i++ {
+			hold := Time(3 + 2*i)
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for round := 0; round < 20; round++ {
+					l.Acquire(p)
+					tr.add(p, "locked round %d", round)
+					p.Hold(hold)
+					l.Release(p)
+					p.Hold(1)
+				}
+			})
+		}
+	})
+	if len(tr.log) != 40 {
+		t.Fatalf("trace length %d, want 40", len(tr.log))
+	}
+	if rep := eng.ParReport(); rep.Windows == 0 || rep.Releases == 0 {
+		t.Fatalf("no windows recorded: %+v", rep)
+	}
+}
+
+// TestParallelRandomized drives a randomized mix of holds, defers,
+// yields, barrier phases, semaphores, and queue waits across several
+// processes and domains.
+func TestParallelRandomized(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		const procs = 8
+		build := func(e *Engine, tr *trace) {
+			bar := NewBarrier(procs)
+			sem := NewSemaphore(2)
+			var l Lock
+			var q Queue
+			var pending int
+			for i := 0; i < procs; i++ {
+				rng := rand.New(rand.NewSource(seed*1000 + int64(i)))
+				e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+					for phase := 0; phase < 5; phase++ {
+						for step := 0; step < 6; step++ {
+							switch rng.Intn(6) {
+							case 0:
+								p.Hold(Time(rng.Intn(20)))
+							case 1:
+								p.Defer(Time(rng.Intn(9)))
+							case 2:
+								p.Yield()
+							case 3:
+								sem.Acquire(p)
+								p.Hold(Time(1 + rng.Intn(5)))
+								p.Ordered(func() { sem.Release() })
+							case 4:
+								l.Acquire(p)
+								tr.add(p, "crit phase %d step %d", phase, step)
+								p.Hold(Time(rng.Intn(4)))
+								l.Release(p)
+							case 5:
+								// Meet in pairs through the bare queue.
+								var wake bool
+								p.FlushLag()
+								p.Ordered(func() {
+									if pending > 0 {
+										pending--
+										wake = true
+										q.WakeOne()
+									} else {
+										pending++
+									}
+								})
+								if !wake {
+									q.Wait(p)
+								}
+							}
+						}
+						tr.add(p, "arrive %d", phase)
+						bar.Arrive(p)
+					}
+					// Drain stragglers parked on the pairing queue so the
+					// run ends cleanly.
+					p.Ordered(func() {
+						if pending > 0 {
+							pending--
+							q.WakeOne()
+						}
+					})
+				})
+			}
+		}
+		for _, workers := range []int{2, 4, 8} {
+			t.Run(fmt.Sprintf("seed%d_w%d", seed, workers), func(t *testing.T) {
+				runBoth(t, workers, 10, build)
+			})
+		}
+	}
+}
+
+// TestParallelDeadlockIdentical: a program that deadlocks must produce
+// the same DeadlockError from both modes and leak nothing.
+func TestParallelDeadlock(t *testing.T) {
+	build := func(e *Engine, tr *trace) {
+		var q Queue
+		for i := 0; i < 4; i++ {
+			e.Spawn(fmt.Sprintf("stuck%d", i), func(p *Proc) {
+				p.Hold(Time(p.ID + 1))
+				q.Wait(p) // nobody wakes anyone
+			})
+		}
+	}
+	eng, _ := runBoth(t, 4, 100, build)
+	var dl *DeadlockError
+	seq := NewEngine()
+	build(seq, &trace{})
+	if err := seq.Run(); !errors.As(err, &dl) {
+		t.Fatalf("sequential run did not deadlock: %v", err)
+	}
+	_ = eng
+}
+
+// TestParallelPanicPropagates: a process panic fails the run with the
+// same error text as the sequential kernel and unwinds every goroutine.
+func TestParallelPanic(t *testing.T) {
+	runBoth(t, 4, 50, func(e *Engine, tr *trace) {
+		for i := 0; i < 4; i++ {
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Hold(Time(10 * (p.ID + 1)))
+				if p.ID == 2 {
+					panic("boom")
+				}
+				p.Hold(1000)
+			})
+		}
+	})
+}
+
+// TestParallelInterrupt aborts a parallel run mid-flight and requires the
+// degenerate drain: an AbortError, no leaked goroutines, and a recorded
+// mid-flight fallback.
+func TestParallelInterrupt(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e := NewEngine()
+	var started atomic.Bool
+	for i := 0; i < 8; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for {
+				started.Store(true)
+				p.Hold(5)
+				p.Yield()
+			}
+		})
+	}
+	e.SetParallel(4, 10, func(id int) int { return id % 4 })
+	go func() {
+		for !started.Load() {
+			runtime.Gosched()
+		}
+		time.Sleep(200 * time.Microsecond)
+		e.Interrupt()
+	}()
+	err := e.Run()
+	var abort *AbortError
+	if !errors.As(err, &abort) {
+		t.Fatalf("interrupted run returned %v, want *AbortError", err)
+	}
+	rep := e.ParReport()
+	if !rep.Parallel {
+		t.Fatal("run did not execute in parallel mode")
+	}
+	if rep.Fallback != "drained-mid-flight" {
+		t.Fatalf("Fallback = %q, want drained-mid-flight", rep.Fallback)
+	}
+	// Every process goroutine must have unwound.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d > %d before", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestParallelFallbackReasons checks each incompatibility the engine
+// detects, and that a fallback run still completes correctly.
+func TestParallelFallbackReasons(t *testing.T) {
+	newTwo := func() *Engine {
+		e := NewEngine()
+		for i := 0; i < 2; i++ {
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) { p.Hold(5) })
+		}
+		return e
+	}
+	cases := []struct {
+		name string
+		prep func(e *Engine)
+		want string
+	}{
+		{"forced", func(e *Engine) { e.ForceSequential("machine-decorator") }, "machine-decorator"},
+		{"zero-lookahead", func(e *Engine) { e.SetParallel(4, 0, func(id int) int { return id }) }, "zero-lookahead"},
+		{"tick-hook", func(e *Engine) { e.Tick = func(Time) {} }, "tick-hook"},
+		{"time-limit", func(e *Engine) { e.MaxTime = 1 << 40 }, "time-limit-watchdog"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			e := newTwo()
+			e.SetParallel(4, 10, func(id int) int { return id })
+			c.prep(e)
+			if e.WillRunParallel() {
+				t.Fatal("WillRunParallel = true, want false")
+			}
+			if err := e.Run(); err != nil {
+				t.Fatalf("fallback run failed: %v", err)
+			}
+			rep := e.ParReport()
+			if rep.Parallel {
+				t.Fatal("fallback run reported parallel execution")
+			}
+			if rep.Fallback != c.want {
+				t.Fatalf("Fallback = %q, want %q", rep.Fallback, c.want)
+			}
+		})
+	}
+	t.Run("single-process", func(t *testing.T) {
+		e := NewEngine()
+		e.Spawn("only", func(p *Proc) { p.Hold(5) })
+		e.SetParallel(4, 10, func(id int) int { return id })
+		if e.WillRunParallel() {
+			t.Fatal("WillRunParallel = true for one process")
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		if got := e.ParReport().Fallback; got != "single-process" {
+			t.Fatalf("Fallback = %q, want single-process", got)
+		}
+	})
+}
+
+// TestParallelReset: a pooled engine clears all parallel state on Reset
+// and runs sequentially afterwards.
+func TestParallelReset(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 2; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) { p.Hold(5) })
+	}
+	e.SetParallel(2, 10, func(id int) int { return id })
+	if err := e.Run(); err != nil {
+		t.Fatalf("parallel run failed: %v", err)
+	}
+	if !e.ParReport().Parallel {
+		t.Fatal("first run was not parallel")
+	}
+	e.Reset()
+	if rep := e.ParReport(); rep.Requested != 0 || rep.Parallel || rep.Fallback != "" || rep.Windows != 0 {
+		t.Fatalf("Reset left parallel state behind: %+v", rep)
+	}
+	e.Spawn("after", func(p *Proc) { p.Hold(3) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("sequential re-run failed: %v", err)
+	}
+	if e.ParReport().Parallel {
+		t.Fatal("re-run after Reset unexpectedly parallel")
+	}
+}
+
+// TestParallelMidRunSpawn: processes spawned from inside a parallel run
+// join the window and the result stays identical to sequential.
+func TestParallelMidRunSpawn(t *testing.T) {
+	runBoth(t, 2, 20, func(e *Engine, tr *trace) {
+		for i := 0; i < 2; i++ {
+			e.Spawn(fmt.Sprintf("root%d", i), func(p *Proc) {
+				p.Hold(Time(5 * (p.ID + 1)))
+				var child *Proc
+				p.Ordered(func() {
+					child = e.Spawn(fmt.Sprintf("child-of-%d", p.ID), func(c *Proc) {
+						c.Hold(7)
+						tr.add(c, "child done")
+					})
+				})
+				_ = child
+				tr.add(p, "spawned")
+				p.Hold(30)
+			})
+		}
+	})
+}

@@ -24,14 +24,32 @@ type Proc struct {
 	gen        uint64 // generation counter; events with an older gen are stale
 	lag        Time   // local clock advance not yet materialized
 	sched      Time   // latest scheduled resumption (see Horizon)
+
+	// Parallel-mode span state (see parallel.go).  at/spanSeq are the
+	// (at, seq) release key of the process's current span; dom is its
+	// clock-vector domain; gate carries grant handoffs; granted/wantGate
+	// implement the ordered commit gate's handoff protocol.
+	at       Time
+	spanSeq  uint64
+	dom      int
+	gate     chan struct{}
+	granted  bool
+	wantGate bool
 }
 
 // Engine returns the engine this process runs on.
 func (p *Proc) Engine() *Engine { return p.eng }
 
 // Now reports the process's local simulated time (the global event time
-// plus any deferred local work).
-func (p *Proc) Now() Time { return p.eng.now + p.lag }
+// plus any deferred local work).  In parallel mode the span's dispatch
+// time stands in for the global clock: it is exactly what the sequential
+// kernel's clock reads while this process runs.
+func (p *Proc) Now() Time {
+	if p.eng.par != nil {
+		return p.at + p.lag
+	}
+	return p.eng.now + p.lag
+}
 
 // Horizon reports how far the process has progressed along its own
 // timeline: its local clock, or its latest scheduled resumption if that
@@ -89,6 +107,10 @@ func (p *Proc) FlushLag() {
 	if p.lag > 0 {
 		d := p.lag
 		p.lag = 0
+		if p.eng.par != nil {
+			p.parHold(p.at + d)
+			return
+		}
 		p.eng.schedule(p.eng.now+d, p)
 		p.block()
 	}
@@ -105,6 +127,12 @@ func (p *Proc) Hold(d Time) {
 	if d+p.lag <= 0 {
 		return
 	}
+	if p.eng.par != nil {
+		at := p.at + p.lag + d
+		p.lag = 0
+		p.parHold(at)
+		return
+	}
 	at := p.eng.now + p.lag + d
 	p.lag = 0
 	p.eng.schedule(at, p)
@@ -117,6 +145,10 @@ func (p *Proc) HoldUntil(t Time) {
 		return
 	}
 	p.lag = 0
+	if p.eng.par != nil {
+		p.parHold(t)
+		return
+	}
 	p.eng.schedule(t, p)
 	p.block()
 }
@@ -126,6 +158,27 @@ func (p *Proc) HoldUntil(t Time) {
 // enqueueing (see Queue.Wait); Park itself must not flush, because by
 // the time it runs the process may already be visible to wakers.
 func (p *Proc) Park() {
+	e := p.eng
+	if e.par != nil {
+		// Parking ends the span: the parked flag is release bookkeeping,
+		// so committing it is the span's final global section.
+		p.enterGate()
+		e.parMu.Lock()
+		p.parked = true
+		e.parMu.Unlock()
+		if p.parEnd() {
+			<-p.resume
+			if e.aborting {
+				panic(abortSignal{})
+			}
+			return
+		}
+		// Retiring this span drained the run out of parallel mode
+		// (interrupt, or a deadlock about to be diagnosed); rejoin the
+		// sequential dispatch loop, which unwinds or ends the run.
+		p.block()
+		return
+	}
 	p.parked = true
 	p.block()
 }
@@ -138,18 +191,40 @@ func (p *Proc) Park() {
 // in unwinding application frames (lock releases, barrier exits) may
 // legitimately try to wake peers that are no longer parked.
 func (p *Proc) Wake() {
-	if p.eng.aborting {
+	e := p.eng
+	if e.par != nil {
+		// The waker holds the commit grant (wakes happen inside Ordered
+		// sections of synchronization objects), so e.now — the waker's
+		// span time — is stable, and the heap push serializes under the
+		// gate mutex.  A parallel run is never aborting (the engine
+		// leaves parallel mode before any unwind begins).
+		e.parMu.Lock()
+		if !p.parked {
+			e.parMu.Unlock()
+			panic(fmt.Sprintf("sim: Wake of non-parked process %q", p.Name))
+		}
+		e.parScheduleLocked(e.now, p)
+		e.parMu.Unlock()
+		return
+	}
+	if e.aborting {
 		return
 	}
 	if !p.parked {
 		panic(fmt.Sprintf("sim: Wake of non-parked process %q", p.Name))
 	}
-	p.eng.schedule(p.eng.now, p)
+	e.schedule(e.now, p)
 }
 
 // Yield reschedules the process at its current local time behind any
 // other process already scheduled there, giving them a chance to run.
 func (p *Proc) Yield() {
+	if p.eng.par != nil {
+		at := p.at + p.lag
+		p.lag = 0
+		p.parHold(at)
+		return
+	}
 	at := p.eng.now + p.lag
 	p.lag = 0
 	p.eng.schedule(at, p)

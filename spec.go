@@ -52,6 +52,17 @@ type Spec struct {
 	// triggers escalation: 0 escalates on the first flow admitted, 100
 	// never escalates.  Meaningful only with Adaptive.
 	EscalatePct int
+	// Workers requests conservative parallel host execution: the
+	// simulation runs its processes on up to Workers OS threads behind an
+	// ordered commit gate that keeps results bit-identical to the
+	// sequential kernel (0 or 1 means sequential).  Because results are
+	// identical by construction, Workers is an execution knob, not part of
+	// the run's identity: it is excluded from Key and Hash, and two specs
+	// differing only in Workers share one content address.  Machine kinds
+	// whose minimum cross-process latency is zero (Target, CLogP) fall
+	// back to the sequential kernel; the decision is recorded on
+	// Result.Par.
+	Workers int
 }
 
 // Canonical returns the spec with every defaulted field made explicit.
@@ -68,6 +79,10 @@ func (s Spec) Canonical() Spec {
 		// EscalatePct is meaningless without Adaptive; zeroing it keeps
 		// semantically identical specs on one key.
 		s.EscalatePct = 0
+	}
+	if s.Workers < 0 {
+		// Negative worker counts mean the same thing as 0: sequential.
+		s.Workers = 0
 	}
 	return s
 }
@@ -108,8 +123,16 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("spasm: adaptive fidelity starts on the flow tier; spec has machine %v (want %v)",
 			s.Machine, Flow)
 	}
+	if s.Workers > MaxWorkers {
+		return fmt.Errorf("spasm: %d workers exceeds the limit of %d", s.Workers, MaxWorkers)
+	}
 	return nil
 }
+
+// MaxWorkers bounds Spec.Workers (and the spasmd wire field): worker
+// counts beyond any plausible core count are rejected rather than
+// silently spawning an absurd goroutine release window.
+const MaxWorkers = 256
 
 func knownKind(k Kind) bool {
 	for _, v := range machine.Kinds() {
