@@ -235,6 +235,44 @@ func BenchmarkSweepThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkLargeP measures the large-P hot paths: the uniform
+// synthetic-traffic workload on the flow and LogP tiers at 256 and 1024
+// processors (the torus keeps link state linear in P).  Two metrics
+// matter beyond ns/op:
+//
+//   - events_per_sec: kernel event throughput — the number the sparse
+//     directory, on-demand routing, and O(touched) reset work exist to
+//     keep flat as P grows;
+//   - B/op (via ReportAllocs): bytes allocated per complete run — the
+//     memory-regression gate's input.  A per-message allocation sneaking
+//     back into a large-P path shows up here multiplied by the entire
+//     traffic volume.
+func BenchmarkLargeP(b *testing.B) {
+	cases := []struct {
+		kind Kind
+		p    int
+	}{
+		{Flow, 256}, {Flow, 1024}, {LogP, 256}, {LogP, 1024},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(fmt.Sprintf("%v/p%d", c.kind, c.p), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				res, err := RunExtended("uniform", Tiny, 1, Config{
+					Kind: c.kind, Topology: "torus", P: c.p,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = res.Stats.SimEvents
+			}
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events_per_sec")
+		})
+	}
+}
+
 // BenchmarkGapAblation reproduces the section-7 experiment: contention
 // of FFT on the cube under the strict LogP gap versus the
 // per-event-class gap, against the target machine.

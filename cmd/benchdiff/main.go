@@ -12,6 +12,8 @@
 //	go run ./cmd/benchdiff                  # compare, fail on >50% ns/op or allocs/op regression
 //	go run ./cmd/benchdiff -threshold 2.0   # looser time gate
 //	go run ./cmd/benchdiff -alloc-threshold 0   # disable the allocation gate
+//	go run ./cmd/benchdiff -baseline BENCH_pr8.json -bench BenchmarkLargeP
+//	                                        # the large-P memory-regression gate
 //
 // The gate is deliberately loose (shared CI runners are noisy); its job is
 // to catch the "accidentally quadratic" class of regression, not 5% drift.
@@ -60,6 +62,7 @@ func main() {
 		pkg          = flag.String("pkg", ".", "package to benchmark")
 		threshold    = flag.Float64("threshold", 1.5, "fail when current ns/op exceeds baseline * threshold")
 		allocGate    = flag.Float64("alloc-threshold", 1.5, "fail when current allocs/op exceeds baseline * alloc-threshold (0 disables)")
+		bytesGate    = flag.Float64("bytes-threshold", 1.5, "fail when current B/op exceeds baseline * bytes-threshold (0 disables)")
 		note         = flag.String("note", "", "note stored with a recorded baseline")
 	)
 	flag.Parse()
@@ -123,12 +126,23 @@ func main() {
 				failed = true
 			}
 		}
+		// B/op gates peak-memory growth the allocation *count* can miss:
+		// a single huge slice per run (say a route table reappearing at
+		// large P) is one alloc but gigabytes.
+		if *bytesGate > 0 && b.BytesPerOp > 0 && cur.BytesPerOp > 0 {
+			bratio := float64(cur.BytesPerOp) / float64(b.BytesPerOp)
+			allocNote += fmt.Sprintf("  bytes %.2fx", bratio)
+			if bratio > *bytesGate {
+				verdict = "BYTES REGRESSION"
+				failed = true
+			}
+		}
 		fmt.Printf("%-40s %12.0f ns/op  baseline %12.0f  ratio %.2fx%s  %s\n",
 			name, cur.NsPerOp, b.NsPerOp, ratio, allocNote, verdict)
 	}
 	if failed {
-		fmt.Printf("FAIL: regressed past the gate (ns/op > %.2fx or allocs/op > %.2fx) vs %s\n",
-			*threshold, *allocGate, *baselinePath)
+		fmt.Printf("FAIL: regressed past the gate (ns/op > %.2fx, allocs/op > %.2fx, or B/op > %.2fx) vs %s\n",
+			*threshold, *allocGate, *bytesGate, *baselinePath)
 		os.Exit(1)
 	}
 	fmt.Println("PASS: no benchmark regressed past the gate")

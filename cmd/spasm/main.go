@@ -24,10 +24,10 @@ import (
 
 func main() {
 	var (
-		appName = flag.String("app", "fft", "application: cg, cholesky, ep, fft, is (or extended: mg)")
+		appName = flag.String("app", "fft", "application: cg, cholesky, ep, fft, is (or extended: mg, uniform)")
 		machStr = flag.String("machine", "target", "machine: ideal, flow, logp, clogp, target")
 		topo    = flag.String("topo", "full", "topology: full, cube, mesh, ring, torus")
-		p       = flag.Int("p", 8, "processors (power of two, <= 64)")
+		p       = flag.Int("p", 8, "processors (power of two; up to 1024 on the coherent machines, more on the abstract tiers)")
 		scale   = flag.String("scale", "small", "problem scale: tiny, small, medium")
 		seed    = flag.Int64("seed", 1, "synthetic-input seed")
 		perCls  = flag.Bool("perclass", false, "use per-event-class g gap (LogP machines)")
@@ -76,11 +76,15 @@ func main() {
 	} else {
 		res, err = spasm.Run(*appName, sc, *seed, cfg)
 		if err != nil {
-			// Fall back to the extension workloads (e.g. mg).
-			var extErr error
-			res, extErr = spasm.RunExtended(*appName, sc, *seed, cfg)
-			if extErr == nil {
-				err = nil
+			// Fall back to the extension workloads (e.g. mg, uniform).
+			// For a name the extension registry knows, its error is the
+			// one worth reporting (a P-limit rejection, say), not the
+			// core suite's "unknown application".
+			for _, name := range spasm.ExtendedApps() {
+				if name == *appName {
+					res, err = spasm.RunExtended(*appName, sc, *seed, cfg)
+					break
+				}
 			}
 		}
 	}

@@ -105,11 +105,13 @@ func Names() []string {
 // they are kept out of the main registry so suite-wide experiments
 // reproduce the paper's exact workload set.
 var extended = map[string]Builder{
-	"mg": NewMG,
+	"mg":      NewMG,
+	"uniform": NewUniform,
 }
 
 // NewExtended builds a named extension workload ("mg", the multigrid
-// solver with hierarchical communication).
+// solver with hierarchical communication, or "uniform", the synthetic
+// uniform-random traffic driver).
 func NewExtended(name string, scale Scale, seed int64) (app.Program, error) {
 	b, ok := extended[name]
 	if !ok {

@@ -22,7 +22,6 @@ package coherence
 
 import (
 	"fmt"
-	"math/bits"
 
 	"spasm/internal/cache"
 	"spasm/internal/mem"
@@ -127,11 +126,19 @@ func DefaultCosts() Costs {
 	}
 }
 
-// entry is a fully-mapped directory entry.
+// entry is a fully-mapped directory entry.  The sharing set is
+// limited-pointer style (see sharers.go): up to inlineSharers node ids
+// inline, overflowing to a bitset slot in the engine's arena.  gen is
+// the engine generation the entry was last stamped for; entries from an
+// earlier generation are logically pristine and re-initialized lazily
+// by dirAt, which is what makes Engine.Reset O(1) in directory size.
 type entry struct {
-	owner   int    // cache owning the block (-1: memory is current)
-	sharers uint64 // bit per node that may hold a copy (includes owner)
-	home    int32  // memoized home node of the block (-1: not yet computed)
+	owner int32                // cache owning the block (-1: memory is current)
+	home  int32                // memoized home node of the block (-1: not yet computed)
+	ovf   int32                // overflow bitset slot in Engine.ovfBits (-1: inline)
+	gen   uint32               // engine generation this entry is valid for
+	nsh   int16                // inline sharer count, or nshOverflow
+	inline [inlineSharers]int16 // inline sharer ids, ascending
 }
 
 // Directory entries and their block locks live in fixed-size chunks
@@ -152,15 +159,6 @@ type dirChunk struct {
 	locks   [dirChunkSize]sim.Lock
 }
 
-func newDirChunk() *dirChunk {
-	ch := &dirChunk{}
-	for i := range ch.entries {
-		ch.entries[i].owner = -1
-		ch.entries[i].home = -1
-	}
-	return ch
-}
-
 // Engine is the coherence engine over P caches and their home memories.
 type Engine struct {
 	space  *mem.Space
@@ -174,6 +172,24 @@ type Engine struct {
 
 	dir []*dirChunk // chunked by block id; chunks allocated on first touch
 
+	// gen is the engine's current generation.  A freshly allocated chunk
+	// holds gen-0 entries; the engine starts at 1 and Reset bumps it, so
+	// a stale entry is recognized (and re-stamped) by dirAt without ever
+	// sweeping the directory.
+	gen uint32
+
+	// Overflow bitset arena for widely shared blocks: ovfBits[s] is one
+	// slot of ovfWords uint64 words, ovfFree the recycled slot ids.
+	ovfBits  [][]uint64
+	ovfFree  []int32
+	ovfWords int
+
+	// snap is the sharer-snapshot scratch used by the invalidation and
+	// update loops.  Safe as a single engine-wide buffer because no
+	// coherence operation yields between taking a snapshot and finishing
+	// its iteration, and snapshots never nest.
+	snap []int32
+
 	// Transactions counts misses serviced (reads + writes + upgrades).
 	Transactions uint64
 }
@@ -182,17 +198,21 @@ type Engine struct {
 // geometry, directories at each block's home node, and the given message
 // transport.
 func NewEngine(space *mem.Space, cacheCfg cache.Config, costs Costs, tr Transport) *Engine {
-	if space.P() > 64 {
-		panic("coherence: more than 64 nodes (directory bit-vector is uint64)")
+	if space.P() > MaxP {
+		// spec.Validate (machine.MaxPFor) rejects such configurations
+		// before any engine is built; this is defense in depth.
+		panic(fmt.Sprintf("coherence: %d nodes exceeds the coherent-machine limit of %d", space.P(), MaxP))
 	}
 	if cacheCfg.BlockBytes != space.BlockBytes() {
 		panic(fmt.Sprintf("coherence: cache block %dB != space block %dB",
 			cacheCfg.BlockBytes, space.BlockBytes()))
 	}
 	e := &Engine{
-		space: space,
-		costs: costs,
-		tr:    tr,
+		space:    space,
+		costs:    costs,
+		tr:       tr,
+		gen:      1,
+		ovfWords: (space.P() + 63) / 64,
 	}
 	// Size the chunk index from the memory layout.  Applications allocate
 	// in Setup, before the machine (and this engine) is built, so this
@@ -211,13 +231,18 @@ func NewEngine(space *mem.Space, cacheCfg cache.Config, costs Costs, tr Transpor
 // Reset rebinds the engine to space — typically the same *mem.Space
 // after its own Reset and a fresh application Setup — and returns all
 // coherence state to its post-NewEngine condition without reallocating
-// the chunked directory.  Every already-allocated chunk is re-stamped
-// (owner -1, no sharers, home -1, zeroed block lock) rather than freed:
-// a re-stamped entry is indistinguishable from a first-touch one, and the
-// home memo must be cleared because the new run may lay out memory
-// differently.  The chunk index is re-sized to cover the new footprint;
-// chunks beyond it are kept (harmlessly — they are only reachable via
-// block ids the new layout never produces, and they are already clean).
+// the chunked directory.  Rather than sweeping every allocated chunk
+// (O(directory size), which at 1024 procs dwarfs small runs), Reset
+// bumps the engine generation: entries stamped for an older generation
+// are logically pristine — dirAt re-initializes them (owner -1, no
+// sharers, home -1, zeroed block lock) on first touch, so a re-stamped
+// entry is indistinguishable from a first-touch one.  The home memo is
+// thereby cleared too, which matters because the new run may lay out
+// memory differently.  Overflow bitset slots all return to the freelist:
+// any entry referencing one is stale by generation.  The chunk index is
+// re-sized to cover the new footprint; chunks beyond it are kept
+// (harmlessly — they are only reachable via block ids the new layout
+// never produces, and their entries are stale).
 //
 // The transport, costs, protocol, and cache geometry are construction
 // parameters of the pooled context and are deliberately left alone.
@@ -235,16 +260,10 @@ func (e *Engine) Reset(space *mem.Space) {
 	for _, c := range e.caches {
 		c.Reset()
 	}
-	for _, ch := range e.dir {
-		if ch == nil {
-			continue
-		}
-		for i := range ch.entries {
-			ch.entries[i] = entry{owner: -1, home: -1}
-		}
-		for i := range ch.locks {
-			ch.locks[i] = sim.Lock{}
-		}
+	e.gen++
+	e.ovfFree = e.ovfFree[:0]
+	for i := range e.ovfBits {
+		e.ovfFree = append(e.ovfFree, int32(i))
 	}
 	if sz := space.Size(); sz > 0 {
 		nChunks := int(space.BlockOf(sz-1))>>dirChunkShift + 1
@@ -265,28 +284,52 @@ func (e *Engine) chunkFor(b mem.Block) *dirChunk {
 	}
 	ch := e.dir[ci]
 	if ch == nil {
-		ch = newDirChunk()
+		// A zero chunk holds gen-0 entries; the engine generation is
+		// always >= 1, so dirAt stamps each entry on first touch.
+		ch = &dirChunk{}
 		e.dir[ci] = ch
 	}
 	return ch
 }
 
+// dirAt returns block b's directory entry and lock, lazily
+// re-initializing both if the entry is stale from an earlier generation
+// (Reset bumps the generation instead of sweeping the directory).  Every
+// mutating path must come through here — never index a chunk directly —
+// or it would observe a previous run's state.
+func (e *Engine) dirAt(b mem.Block) (*entry, *sim.Lock) {
+	ch := e.chunkFor(b)
+	i := b & dirChunkMask
+	en := &ch.entries[i]
+	if en.gen != e.gen {
+		*en = entry{owner: -1, home: -1, ovf: -1, gen: e.gen}
+		ch.locks[i] = sim.Lock{}
+	}
+	return en, &ch.locks[i]
+}
+
 func (e *Engine) entryFor(b mem.Block) *entry {
-	return &e.chunkFor(b).entries[b&dirChunkMask]
+	en, _ := e.dirAt(b)
+	return en
 }
 
 func (e *Engine) lockFor(b mem.Block) *sim.Lock {
-	return &e.chunkFor(b).locks[b&dirChunkMask]
+	_, lk := e.dirAt(b)
+	return lk
 }
 
 // lookup returns block b's directory entry without allocating, or nil if
-// its chunk was never touched.
+// its chunk was never touched (or not touched this generation).
 func (e *Engine) lookup(b mem.Block) *entry {
 	ci := int(b >> dirChunkShift)
 	if ci >= len(e.dir) || e.dir[ci] == nil {
 		return nil
 	}
-	return &e.dir[ci].entries[b&dirChunkMask]
+	en := &e.dir[ci].entries[b&dirChunkMask]
+	if en.gen != e.gen {
+		return nil
+	}
+	return en
 }
 
 // homeOf returns (and memoizes) the home node of block b, replacing the
@@ -389,7 +432,7 @@ func (e *Engine) miss(p *sim.Proc, st *stats.Proc, r int, b mem.Block, write boo
 
 	// Data leg: from the owning cache if one exists, else home memory.
 	var tData sim.Time
-	o := en.owner
+	o := int(en.owner)
 	if o >= 0 && o != r && e.caches[o].State(b).Owned() {
 		switch e.Protocol {
 		case MSI, Update:
@@ -430,10 +473,10 @@ func (e *Engine) miss(p *sim.Proc, st *stats.Proc, r int, b mem.Block, write boo
 
 	// Directory update.
 	if write {
-		en.owner = r
-		en.sharers = 1 << uint(r)
+		en.owner = int32(r)
+		e.setSoleSharer(en, r)
 	} else {
-		en.sharers |= 1 << uint(r)
+		e.addSharer(en, r)
 	}
 
 	if st.Messages > msgs0 {
@@ -479,8 +522,8 @@ func (e *Engine) upgrade(p *sim.Proc, st *stats.Proc, r int, b mem.Block) {
 	}
 
 	e.caches[r].SetState(b, cache.OwnedExclusive)
-	en.owner = r
-	en.sharers = 1 << uint(r)
+	en.owner = int32(r)
+	e.setSoleSharer(en, r)
 
 	if st.Messages > msgs0 {
 		st.NetAccesses++
@@ -523,9 +566,8 @@ func (e *Engine) updateWriteLocked(p *sim.Proc, st *stats.Proc, r int, b mem.Blo
 	now := p.Now()
 	msgs0 := st.Messages
 
-	others := en.sharers &^ (1 << uint(r))
 	t := now
-	if others == 0 {
+	if !e.hasOtherSharer(en, r) {
 		// Sole copy: become exclusive after a directory round trip.
 		if h != r {
 			t = e.send(st, t, r, h, e.costs.CtrlBytes, UpgradeReq)
@@ -534,8 +576,8 @@ func (e *Engine) updateWriteLocked(p *sim.Proc, st *stats.Proc, r int, b mem.Blo
 		if e.caches[r].State(b) != cache.OwnedExclusive {
 			e.caches[r].SetState(b, cache.OwnedExclusive)
 		}
-		en.owner = r
-		en.sharers = 1 << uint(r)
+		en.owner = int32(r)
+		e.setSoleSharer(en, r)
 	} else {
 		// Write through to the home, then push the value to every
 		// other sharer; all copies stay valid and memory is current.
@@ -545,16 +587,15 @@ func (e *Engine) updateWriteLocked(p *sim.Proc, st *stats.Proc, r int, b mem.Blo
 		st.Add(stats.Memory, e.costs.Mem)
 		t += e.costs.Mem
 		tAcks := t
-		rest := others
-		for rest != 0 {
-			s := bits.TrailingZeros64(rest)
-			rest &^= 1 << uint(s)
+		e.snap = e.appendSharers(e.snap[:0], en, r)
+		for _, s32 := range e.snap {
+			s := int(s32)
 			if s == h {
 				continue // the home's own cache is updated in place
 			}
 			if !e.caches[s].State(b).Valid() {
-				// Stale sharer bit (silent eviction): clean it up.
-				en.sharers &^= 1 << uint(s)
+				// Stale sharer entry (silent eviction): clean it up.
+				e.removeSharer(en, s)
 				continue
 			}
 			tu := e.send(st, tAcks, h, s, e.costs.DataBytes, UpdateMsg)
@@ -587,10 +628,9 @@ func (e *Engine) updateWriteLocked(p *sim.Proc, st *stats.Proc, r int, b mem.Blo
 // home node.  Caches are invalidated as the messages arrive.
 func (e *Engine) invalidateSharers(st *stats.Proc, t sim.Time, h, r int, b mem.Block, en *entry) sim.Time {
 	tAcks := t
-	rest := en.sharers &^ (1 << uint(r))
-	for rest != 0 {
-		s := bits.TrailingZeros64(rest)
-		rest &^= 1 << uint(s)
+	e.snap = e.appendSharers(e.snap[:0], en, r)
+	for _, s32 := range e.snap {
+		s := int(s32)
 		if s == h {
 			// The home's own cache: invalidate locally, no traffic.
 			e.caches[s].Invalidate(b)
@@ -658,7 +698,7 @@ func (e *Engine) msiOwnerSupply(st *stats.Proc, t sim.Time, h, o, r int, b mem.B
 	if e.caches[o].State(b).Owned() {
 		if write {
 			e.caches[o].Invalidate(b)
-			en.sharers &^= 1 << uint(o)
+			e.removeSharer(en, o)
 			st.Invals++
 		} else {
 			e.caches[o].SetState(b, cache.UnOwned)
@@ -687,13 +727,13 @@ func (e *Engine) fill(st *stats.Proc, t sim.Time, r int, b mem.Block, s cache.St
 		return t
 	}
 	ven := e.entryFor(v.Block)
-	ven.sharers &^= 1 << uint(r)
+	e.removeSharer(ven, r)
 	if !v.State.Owned() {
 		return t // clean victim: silent drop
 	}
 	// Owned victim: write the data back to its home memory.
 	st.Writebacks++
-	if ven.owner == r {
+	if ven.owner == int32(r) {
 		ven.owner = -1 // memory becomes current
 	}
 	vh := e.homeOf(v.Block, ven)
@@ -723,14 +763,14 @@ func (e *Engine) CheckInvariants() error {
 					return
 				}
 				owners[b] = n
-				if en := e.lookup(b); en == nil || en.owner != n {
+				if en := e.lookup(b); en == nil || int(en.owner) != n {
 					err = fmt.Errorf("block %d owned by cache %d but directory disagrees", b, n)
 					return
 				}
 			}
-			// 2. Every valid copy is covered by a directory sharer bit.
-			if en := e.lookup(b); en == nil || en.sharers&(1<<uint(n)) == 0 {
-				err = fmt.Errorf("cache %d holds block %d without a directory sharer bit", n, b)
+			// 2. Every valid copy is covered by a directory sharer entry.
+			if en := e.lookup(b); en == nil || !e.containsSharer(en, n) {
+				err = fmt.Errorf("cache %d holds block %d without a directory sharer entry", n, b)
 			}
 		})
 		if err != nil {
@@ -755,13 +795,14 @@ func (e *Engine) CheckInvariants() error {
 		}
 		for i := range ch.entries {
 			en := &ch.entries[i]
-			if en.owner < 0 {
-				continue
+			if en.gen != e.gen || en.owner < 0 {
+				continue // stale entries are logically pristine
 			}
 			b := mem.Block(ci<<dirChunkShift | i)
-			if !e.caches[en.owner].State(b).Owned() {
+			o := int(en.owner)
+			if !e.caches[o].State(b).Owned() {
 				return fmt.Errorf("directory says %d owns block %d but its cache state is %v",
-					en.owner, b, e.caches[en.owner].State(b))
+					o, b, e.caches[o].State(b))
 			}
 		}
 	}

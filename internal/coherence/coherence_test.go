@@ -299,7 +299,7 @@ func TestEngineValidation(t *testing.T) {
 		NewEngine(space, cache.Config{SizeBytes: 128, BlockBytes: 64, Assoc: 2},
 			DefaultCosts(), &flatTransport{})
 	})
-	big := mem.NewSpace(65, 32)
+	big := mem.NewSpace(MaxP+1, 32)
 	mustPanic(t, func() {
 		NewEngine(big, smallCache(), DefaultCosts(), &flatTransport{})
 	})

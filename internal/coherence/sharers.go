@@ -1,0 +1,183 @@
+package coherence
+
+import "math/bits"
+
+// Sharing-set representation.
+//
+// The directory used to keep one uint64 bit-vector per entry, which
+// hard-capped coherent machines at 64 nodes.  Large machines need the
+// per-entry state to stay small while the *common case* — the paper's
+// workloads keep most blocks in one to a handful of caches — stays O(1),
+// so the sharing set is limited-pointer style:
+//
+//   - up to inlineSharers node ids live inline in the entry, kept in
+//     ascending order (insertion into at most four elements);
+//   - beyond that the set overflows to a bitset of ceil(P/64) words,
+//     allocated from a per-engine slot arena and recycled through a
+//     freelist, so widely shared blocks cost O(P) bits each while the
+//     many narrowly shared ones stay pointer-free.
+//
+// Every operation is semantically a set of node ids iterated in
+// ascending order — exactly the order bits.TrailingZeros64 walked the
+// old bit-vector — so runs at P <= 64 are bit-identical to the previous
+// representation (the golden suite locks this).
+const (
+	// MaxP bounds coherent machines (Target, CLogP): the per-entry
+	// inline ids are int16 and the overflow arena sizes its slots from
+	// P, so the representation itself scales much further, but 1024 is
+	// the validated and benchmarked ceiling (docs/INTERNALS.md §12).
+	MaxP = 1024
+
+	// inlineSharers is the limited-pointer capacity: sharing beyond
+	// this many caches spills the entry to an overflow bitset.
+	inlineSharers = 4
+
+	// nshOverflow marks an entry whose sharing set lives in the
+	// overflow arena slot named by entry.ovf.
+	nshOverflow = -1
+)
+
+// acquireSlot takes a cleared overflow bitset slot, recycling a freed
+// one when available.  Slot numbering is a deterministic function of the
+// access sequence, and slot ids never influence protocol behaviour.
+func (e *Engine) acquireSlot() int32 {
+	if n := len(e.ovfFree); n > 0 {
+		s := e.ovfFree[n-1]
+		e.ovfFree = e.ovfFree[:n-1]
+		w := e.ovfBits[s]
+		for i := range w {
+			w[i] = 0
+		}
+		return s
+	}
+	e.ovfBits = append(e.ovfBits, make([]uint64, e.ovfWords))
+	return int32(len(e.ovfBits) - 1)
+}
+
+// releaseSlot returns an overflow slot to the freelist.
+func (e *Engine) releaseSlot(s int32) {
+	e.ovfFree = append(e.ovfFree, s)
+}
+
+// addSharer inserts node n into the entry's sharing set (no-op if
+// already present).
+func (e *Engine) addSharer(en *entry, n int) {
+	if en.nsh == nshOverflow {
+		e.ovfBits[en.ovf][n>>6] |= 1 << uint(n&63)
+		return
+	}
+	k := int(en.nsh)
+	i := 0
+	for i < k && int(en.inline[i]) < n {
+		i++
+	}
+	if i < k && int(en.inline[i]) == n {
+		return
+	}
+	if k < inlineSharers {
+		copy(en.inline[i+1:k+1], en.inline[i:k])
+		en.inline[i] = int16(n)
+		en.nsh = int16(k + 1)
+		return
+	}
+	// Overflow: spill the inline ids plus n to a bitset slot.
+	s := e.acquireSlot()
+	w := e.ovfBits[s]
+	for j := 0; j < k; j++ {
+		id := int(en.inline[j])
+		w[id>>6] |= 1 << uint(id&63)
+	}
+	w[n>>6] |= 1 << uint(n&63)
+	en.nsh = nshOverflow
+	en.ovf = s
+}
+
+// setSoleSharer makes node n the only sharer, releasing any overflow
+// slot back to the freelist (the entry returns to the inline fast path —
+// this is how a write to a widely shared block reclaims its bitset).
+func (e *Engine) setSoleSharer(en *entry, n int) {
+	if en.nsh == nshOverflow {
+		e.releaseSlot(en.ovf)
+		en.ovf = -1
+	}
+	en.nsh = 1
+	en.inline[0] = int16(n)
+}
+
+// removeSharer deletes node n from the sharing set (no-op if absent).
+// Overflowed entries stay overflowed until the next exclusive write
+// resets them; collapsing back early would buy little and cost a scan.
+func (e *Engine) removeSharer(en *entry, n int) {
+	if en.nsh == nshOverflow {
+		e.ovfBits[en.ovf][n>>6] &^= 1 << uint(n&63)
+		return
+	}
+	k := int(en.nsh)
+	for i := 0; i < k; i++ {
+		if int(en.inline[i]) == n {
+			copy(en.inline[i:k-1], en.inline[i+1:k])
+			en.nsh = int16(k - 1)
+			return
+		}
+	}
+}
+
+// containsSharer reports whether node n is in the sharing set.
+func (e *Engine) containsSharer(en *entry, n int) bool {
+	if en.nsh == nshOverflow {
+		return e.ovfBits[en.ovf][n>>6]&(1<<uint(n&63)) != 0
+	}
+	for i := 0; i < int(en.nsh); i++ {
+		if int(en.inline[i]) == n {
+			return true
+		}
+	}
+	return false
+}
+
+// hasOtherSharer reports whether the set contains any node besides r.
+func (e *Engine) hasOtherSharer(en *entry, r int) bool {
+	if en.nsh == nshOverflow {
+		for wi, w := range e.ovfBits[en.ovf] {
+			if wi == r>>6 {
+				w &^= 1 << uint(r&63)
+			}
+			if w != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < int(en.nsh); i++ {
+		if int(en.inline[i]) != r {
+			return true
+		}
+	}
+	return false
+}
+
+// appendSharers appends the sharing set's node ids to buf in ascending
+// order, excluding skip (pass a negative skip to take the whole set).
+// Callers snapshot the set this way before mutating it mid-iteration,
+// matching the old bit-vector code that iterated a copied mask.
+func (e *Engine) appendSharers(buf []int32, en *entry, skip int) []int32 {
+	if en.nsh == nshOverflow {
+		for wi, w := range e.ovfBits[en.ovf] {
+			base := wi << 6
+			for w != 0 {
+				n := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				if n != skip {
+					buf = append(buf, int32(n))
+				}
+			}
+		}
+		return buf
+	}
+	for i := 0; i < int(en.nsh); i++ {
+		if n := int(en.inline[i]); n != skip {
+			buf = append(buf, int32(n))
+		}
+	}
+	return buf
+}

@@ -109,23 +109,36 @@ type Net struct {
 	live   int       // table length after the last sweep (amortization base)
 	flows  []flowRec // active-flow table, compact
 
-	// perRes indexes the active-flow table by resource: perRes[id] lists
-	// the indices of flows crossing resource id, appended on commit and
-	// rebuilt whenever prune compacts the table.  Entries for flows that
-	// have already ended linger until the next sweep; every reader
+	// Competitor index: per-resource singly linked lists threaded
+	// through one entry arena.  resHead[id] is the first arena entry for
+	// resource id (-1: none); each entry names a flow index and the next
+	// entry.  Entries are pushed on commit (most-recent first) and the
+	// whole arena is rebuilt whenever prune compacts the table;
+	// resTouched records which head entries are non-empty so rebuilds
+	// and Reset clear O(active footprint), not O(nSpace) — on the fully
+	// connected topology nSpace is O(p²), and a dense [][]int32 index
+	// cost 24 bytes of header per resource besides.  Entries for flows
+	// that have already ended linger until the next sweep; every reader
 	// filters on end > t0, so they are invisible.  The index turns the
 	// per-Transfer competitor search from O(table × route) into a walk
-	// of the route's own lists.
-	perRes [][]int32
-	seen   []int64 // per-flow-index visit stamp for the epoch dedup below
-	epoch  int64   // bumped per Transfer; never reset (only equality matters)
+	// of the route's own lists.  Walk order does not affect results:
+	// competitor sets are deduplicated, their count updates commute, and
+	// allocate applies all equal-time boundaries together.
+	resHead    []int32
+	poolFlow   []int32
+	poolNext   []int32
+	resTouched []int32
+
+	seen  []int64 // per-flow-index visit stamp for the epoch dedup below
+	epoch int64   // bumped per Transfer; never reset (only equality matters)
 
 	// Scratch state, sized to nSpace, cleared after every Transfer.
 	onRoute []bool
 	cnt     []int32
 	ids     []int32    // the new flow's resource ids
 	bounds  []sim.Time // prune's end-time sort scratch
-	comp    []int32    // indices into flows of the route-crossing competitors
+	bSort   sort.Interface
+	comp    []int32 // indices into flows of the route-crossing competitors
 
 	// allocate's event sweep scratch: parallel arrays of (time, flow,
 	// add/remove), sorted by time.  evSort is the preallocated sorter so
@@ -165,12 +178,46 @@ func New(t network.Topology) *Net {
 		nReal:    t.NumLinks(),
 		nSpace:   nSpace,
 		minEnd:   maxTime,
-		perRes:   make([][]int32, nSpace),
+		resHead:  make([]int32, nSpace),
 		onRoute:  make([]bool, nSpace),
 		cnt:      make([]int32, nSpace),
 	}
+	for i := range n.resHead {
+		n.resHead[i] = -1
+	}
 	n.evSort = eventSorter{n}
+	n.bSort = boundsSorter{n}
 	return n
+}
+
+// boundsSorter orders prune's end-time scratch; only the cutoff value
+// and the count of entries at it matter, so an unstable sort is fine.
+type boundsSorter struct{ n *Net }
+
+func (s boundsSorter) Len() int           { return len(s.n.bounds) }
+func (s boundsSorter) Less(i, j int) bool { return s.n.bounds[i] < s.n.bounds[j] }
+func (s boundsSorter) Swap(i, j int) {
+	s.n.bounds[i], s.n.bounds[j] = s.n.bounds[j], s.n.bounds[i]
+}
+
+// pushRes threads flow fi onto resource id's competitor list.
+func (n *Net) pushRes(id, fi int32) {
+	if n.resHead[id] < 0 {
+		n.resTouched = append(n.resTouched, id)
+	}
+	n.poolFlow = append(n.poolFlow, fi)
+	n.poolNext = append(n.poolNext, n.resHead[id])
+	n.resHead[id] = int32(len(n.poolFlow) - 1)
+}
+
+// clearRes empties the competitor index in O(touched resources).
+func (n *Net) clearRes() {
+	for _, id := range n.resTouched {
+		n.resHead[id] = -1
+	}
+	n.resTouched = n.resTouched[:0]
+	n.poolFlow = n.poolFlow[:0]
+	n.poolNext = n.poolNext[:0]
 }
 
 // eventSorter orders allocate's parallel event arrays by time.  Equal
@@ -224,9 +271,7 @@ func (n *Net) Reset() {
 		n.flows[i].links = n.flows[i].links[:0]
 	}
 	n.flows = n.flows[:0]
-	for i := range n.perRes {
-		n.perRes[i] = n.perRes[i][:0]
-	}
+	n.clearRes()
 	n.floor = 0
 	n.minEnd = maxTime
 	n.live = 0
@@ -283,27 +328,19 @@ func (n *Net) prune() {
 		// per admission.  Ties at the cutoff end break in table order —
 		// deterministic, like everything else here.
 		evict := n.MaxFlows/8 + 1
-		ends := n.bounds[:0] // scratch; Transfer rebuilds bounds after prune
+		n.bounds = n.bounds[:0]
 		for i := range n.flows {
-			ends = append(ends, n.flows[i].end)
+			n.bounds = append(n.bounds, n.flows[i].end)
 		}
-		for i := 1; i < len(ends); i++ {
-			v := ends[i]
-			j := i - 1
-			for j >= 0 && ends[j] > v {
-				ends[j+1] = ends[j]
-				j--
-			}
-			ends[j+1] = v
-		}
-		cut := ends[evict-1]
+		sort.Sort(n.bSort)
+		cut := n.bounds[evict-1]
 		ties := evict
-		for _, e := range ends[:evict] {
+		for _, e := range n.bounds[:evict] {
 			if e < cut {
 				ties--
 			}
 		}
-		n.bounds = ends[:0]
+		n.bounds = n.bounds[:0]
 		keep = n.flows[:0]
 		for i := range n.flows {
 			e := n.flows[i].end
@@ -333,13 +370,11 @@ func (n *Net) prune() {
 	}
 	n.live = len(n.flows)
 
-	// Compaction moved records, so rebuild the per-resource index.
-	for i := range n.perRes {
-		n.perRes[i] = n.perRes[i][:0]
-	}
+	// Compaction moved records, so rebuild the competitor index.
+	n.clearRes()
 	for j := range n.flows {
 		for _, id := range n.flows[j].links {
-			n.perRes[id] = append(n.perRes[id], int32(j))
+			n.pushRes(id, int32(j))
 		}
 	}
 }
@@ -386,7 +421,8 @@ func (n *Net) Transfer(now sim.Time, src, dst, bytes int) Xmit {
 	}
 	n.epoch++
 	for _, rid := range n.ids {
-		for _, fi := range n.perRes[rid] {
+		for e := n.resHead[rid]; e >= 0; e = n.poolNext[e] {
+			fi := n.poolFlow[e]
 			if n.seen[fi] == n.epoch {
 				continue
 			}
@@ -424,7 +460,7 @@ func (n *Net) Transfer(now sim.Time, src, dst, bytes int) Xmit {
 	n.flows = append(n.flows[:len(n.flows)], rec)
 	recIdx := int32(len(n.flows) - 1)
 	for _, id := range n.ids {
-		n.perRes[id] = append(n.perRes[id], recIdx)
+		n.pushRes(id, recIdx)
 	}
 	if end < n.minEnd {
 		n.minEnd = end

@@ -76,6 +76,11 @@ type Net struct {
 	// topology g was derived from.
 	Crosses func(src, dst int) bool
 
+	// Port state, allocated by Mode: Combined uses the single last
+	// array, PerClass the send/receive pair.  Allocating only what the
+	// mode gates keeps the per-node footprint flat at large P (one port
+	// array at 1024 nodes instead of three).
+	p        int
 	last     []sim.Time // Combined: last network event per node
 	lastSend []sim.Time // PerClass ports
 	lastRecv []sim.Time
@@ -99,21 +104,30 @@ func New(p int, l, g sim.Time, mode PortMode) *Net {
 	if l < 0 || g < 0 {
 		panic("logp: negative L or g")
 	}
-	n := &Net{L: l, G: g, Mode: mode}
-	n.last = make([]sim.Time, p)
-	n.lastSend = make([]sim.Time, p)
-	n.lastRecv = make([]sim.Time, p)
-	// Allow the first event at each node to happen at time zero.
-	for i := range n.last {
-		n.last[i] = -n.G
-		n.lastSend[i] = -n.G
-		n.lastRecv[i] = -n.G
+	n := &Net{L: l, G: g, Mode: mode, p: p}
+	if mode == Combined {
+		n.last = make([]sim.Time, p)
+	} else {
+		n.lastSend = make([]sim.Time, p)
+		n.lastRecv = make([]sim.Time, p)
 	}
+	n.stampPorts()
 	return n
 }
 
+// stampPorts allows the first event at each node to happen at time zero.
+func (n *Net) stampPorts() {
+	for i := range n.last {
+		n.last[i] = -n.G
+	}
+	for i := range n.lastSend {
+		n.lastSend[i] = -n.G
+		n.lastRecv[i] = -n.G
+	}
+}
+
 // P returns the number of nodes.
-func (n *Net) P() int { return len(n.last) }
+func (n *Net) P() int { return n.p }
 
 // Reset returns the net to its post-New state in place: every port slot
 // re-stamped to -g (so the first event at each node may again happen at
@@ -121,11 +135,7 @@ func (n *Net) P() int { return len(n.last) }
 // the Crosses predicate are configuration — derived from the machine
 // and topology the pooled context is keyed by — and are left alone.
 func (n *Net) Reset() {
-	for i := range n.last {
-		n.last[i] = -n.G
-		n.lastSend[i] = -n.G
-		n.lastRecv[i] = -n.G
-	}
+	n.stampPorts()
 	n.Messages = 0
 	n.Crossing = 0
 	n.Observer = nil

@@ -68,6 +68,43 @@ func TestNetworkTiersConform(t *testing.T) {
 	}
 }
 
+// TestLargePConformance re-runs the conformance battery at P=256 — past
+// the precomputed-route-table limit, so the coherent machines exercise
+// the route cache and the sparse directory's overflow representation,
+// and each abstract tier its large-P port/flow state.  The mesh keeps
+// the detailed fabric's link count linear in P.
+func TestLargePConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-processor battery")
+	}
+	const p = 256
+	for _, kind := range []Kind{Ideal, Flow, LogP, CLogP, Target} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			factory := func() (Machine, *mem.Space, *mem.Array) {
+				s := mem.NewSpace(p, 32)
+				a := s.Alloc("conf", p*64, 8, mem.Blocked)
+				m, err := New(Config{Kind: kind, Topology: "mesh", P: p}, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m, s, a
+			}
+			if err := Conformance(factory); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	for _, tier := range NetworkTiers() {
+		tier := tier
+		t.Run("net/"+tier.Name, func(t *testing.T) {
+			if err := NetworkConformance(tier, "mesh", p); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
 // TestNetworkTierByName: the registry resolves every registered name
 // and rejects unknown ones with the valid list.
 func TestNetworkTierByName(t *testing.T) {

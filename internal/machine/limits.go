@@ -1,0 +1,31 @@
+package machine
+
+import "spasm/internal/coherence"
+
+// MaxPFor reports the largest processor count a machine kind supports —
+// the bound spec validation enforces so an oversized spec is rejected
+// with a clear error instead of panicking deep inside construction (the
+// coherence directory's sharing sets are the hardest limit).  Per kind:
+//
+//   - Target, CLogP: coherence.MaxP (1024) — the directory's sharing-set
+//     representation (limited pointers with chunked-bitset overflow) is
+//     sized for it, and the detailed fabric's per-link arrays stay
+//     within a workstation's memory there (8 MB at-rest for the fully
+//     connected topology at 1024 nodes).
+//   - LogP, Flow: 65536 — no directory, but the abstract tiers still
+//     keep per-node port state (LogP) or per-resource occupancy maps
+//     (flow), and the applications themselves allocate per-node.
+//   - Ideal: 1048576 — only the per-processor statistics bound it.
+//
+// Unknown kinds report 0 (nothing is supported).
+func MaxPFor(k Kind) int {
+	switch k {
+	case Target, CLogP:
+		return coherence.MaxP
+	case LogP, Flow:
+		return 1 << 16
+	case Ideal:
+		return 1 << 20
+	}
+	return 0
+}

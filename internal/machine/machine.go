@@ -159,6 +159,10 @@ func New(cfg Config, space *mem.Space) (Machine, error) {
 	if cfg.P != space.P() {
 		return nil, fmt.Errorf("machine: config P=%d but space has %d nodes", cfg.P, space.P())
 	}
+	if max := MaxPFor(cfg.Kind); max > 0 && cfg.P > max {
+		return nil, fmt.Errorf("machine: P=%d exceeds the %v machine's limit of %d processors",
+			cfg.P, cfg.Kind, max)
+	}
 	switch cfg.Kind {
 	case Ideal:
 		return &ideal{p: cfg.P, unit: cfg.Costs.CacheHit}, nil

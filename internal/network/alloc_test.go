@@ -86,19 +86,7 @@ func TestRouteTableMatchesCompute(t *testing.T) {
 	for _, p := range []int{2, 4, 8, 16, 64} {
 		topos := []Topology{NewFull(p), NewCube(p), NewMesh(p), NewRing(p), NewTorus(p)}
 		for _, topo := range topos {
-			var compute appendRouter
-			switch x := topo.(type) {
-			case *Full:
-				compute = x.appendRoute
-			case *Cube:
-				compute = x.appendRoute
-			case *Mesh:
-				compute = x.appendRoute
-			case *Ring:
-				compute = x.appendRoute
-			case *Torus:
-				compute = x.appendRoute
-			}
+			compute := topo.AppendRoute
 			for src := 0; src < p; src++ {
 				for dst := 0; dst < p; dst++ {
 					if src == dst {

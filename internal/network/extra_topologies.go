@@ -12,15 +12,19 @@ import "fmt"
 // Ring is a bidirectional ring: each node links to both neighbours, and
 // messages take the shorter way around (ties go clockwise).
 type Ring struct {
-	p  int
-	rt *routeTable
+	p       int
+	rt      *routeTable
+	scratch []int
 }
 
 // NewRing returns a bidirectional ring over p nodes.
 func NewRing(p int) *Ring {
 	checkP(p)
 	r := &Ring{p: p}
-	r.rt = buildRouteTable(p, r.appendRoute)
+	r.rt = buildRouteTable(p, r.AppendRoute)
+	if r.rt == nil {
+		r.scratch = make([]int, 0, r.Diameter())
+	}
 	return r
 }
 
@@ -41,8 +45,8 @@ func (r *Ring) check(src, dst int) {
 	}
 }
 
-// appendRoute takes the shorter direction around the ring.
-func (r *Ring) appendRoute(buf []int, src, dst int) []int {
+// AppendRoute takes the shorter direction around the ring.
+func (r *Ring) AppendRoute(buf []int, src, dst int) []int {
 	fwd := (dst - src + r.p) % r.p
 	if fwd <= r.p-fwd { // clockwise (ties clockwise)
 		for n := src; n != dst; n = (n + 1) % r.p {
@@ -56,13 +60,15 @@ func (r *Ring) appendRoute(buf []int, src, dst int) []int {
 	return buf
 }
 
-// Route returns the shorter-way route from the precomputed table.
+// Route returns the shorter-way route from the precomputed table (or
+// the scratch buffer at large p).
 func (r *Ring) Route(src, dst int) []int {
 	r.check(src, dst)
 	if r.rt != nil {
 		return r.rt.route(src, dst)
 	}
-	return r.appendRoute(nil, src, dst)
+	r.scratch = r.AppendRoute(r.scratch[:0], src, dst)
+	return r.scratch
 }
 
 func (r *Ring) LinkEnds(id int) (from, to int) {
@@ -104,6 +110,7 @@ func (r *Ring) CrossesBisection(src, dst int) bool {
 type Torus struct {
 	p, rows, cols int
 	rt            *routeTable
+	scratch       []int
 }
 
 // NewTorus returns a 2-D torus over p = 2^k nodes with the same aspect
@@ -111,7 +118,10 @@ type Torus struct {
 func NewTorus(p int) *Torus {
 	m := NewMesh(p)
 	t := &Torus{p: p, rows: m.Rows(), cols: m.Cols()}
-	t.rt = buildRouteTable(p, t.appendRoute)
+	t.rt = buildRouteTable(p, t.AppendRoute)
+	if t.rt == nil {
+		t.scratch = make([]int, 0, t.Diameter())
+	}
 	return t
 }
 
@@ -140,8 +150,8 @@ func shorter(a, b, n int) (step, dist int) {
 	return -1, n - fwd
 }
 
-// appendRoute is X-first dimension-ordered with wraparound.
-func (t *Torus) appendRoute(buf []int, src, dst int) []int {
+// AppendRoute is X-first dimension-ordered with wraparound.
+func (t *Torus) AppendRoute(buf []int, src, dst int) []int {
 	sr, sc := t.coords(src)
 	dr, dc := t.coords(dst)
 	r, c := sr, sc
@@ -170,13 +180,15 @@ func (t *Torus) appendRoute(buf []int, src, dst int) []int {
 	return buf
 }
 
-// Route returns the dimension-ordered route from the precomputed table.
+// Route returns the dimension-ordered route from the precomputed table
+// (or the scratch buffer at large p).
 func (t *Torus) Route(src, dst int) []int {
 	t.check(src, dst)
 	if t.rt != nil {
 		return t.rt.route(src, dst)
 	}
-	return t.appendRoute(nil, src, dst)
+	t.scratch = t.AppendRoute(t.scratch[:0], src, dst)
+	return t.scratch
 }
 
 func (t *Torus) LinkEnds(id int) (from, to int) {

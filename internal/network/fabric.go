@@ -28,6 +28,20 @@ type Fabric struct {
 	injFree  []sim.Time
 	ejFree   []sim.Time
 
+	// touched records the links whose linkFree entry has been written
+	// since the last Reset, so Reset clears O(messages' footprint)
+	// instead of sweeping all NumLinks entries — on the fully connected
+	// topology that sweep is O(p²), which dominates pooled small runs at
+	// large p.  A link is recorded the first time it leaves the zero
+	// state; duplicates (possible only when a transmission ends at time
+	// zero) merely clear twice.
+	touched []int32
+
+	// rc caches hot full routes above RouteTableMaxP, where the
+	// topology serves Route from a shared scratch buffer instead of a
+	// precomputed table (see routecache.go).  nil for table-backed p.
+	rc *routeCache
+
 	// slow holds the per-link slowdown factor for degraded links (fault
 	// injection: a link that transmits N times slower than nominal).
 	// It stays nil until the first Degrade call, keeping the factor scan
@@ -57,13 +71,26 @@ type Fabric struct {
 // NewFabric returns a fabric over the given topology with the paper's
 // link parameters (20 MB/s serial links, zero switching delay).
 func NewFabric(t Topology) *Fabric {
-	return &Fabric{
+	f := &Fabric{
 		topo:     t,
 		ByteTime: sim.SerialByte,
 		linkFree: make([]sim.Time, t.NumLinks()),
 		injFree:  make([]sim.Time, t.P()),
 		ejFree:   make([]sim.Time, t.P()),
 	}
+	if t.P() > RouteTableMaxP {
+		f.rc = newRouteCache(t)
+	}
+	return f
+}
+
+// routeFor returns the route Reserve prices: table-backed topologies
+// answer directly; larger ones go through the fabric's route cache.
+func (f *Fabric) routeFor(src, dst int) []int {
+	if f.rc != nil {
+		return f.rc.route(src, dst)
+	}
+	return f.topo.Route(src, dst)
 }
 
 // Topology returns the underlying topology.
@@ -78,9 +105,10 @@ func (f *Fabric) Topology() Topology { return f.topo }
 // is immutable.  ByteTime and SwitchDelay are configuration of the pooled
 // context and are left alone.
 func (f *Fabric) Reset() {
-	for i := range f.linkFree {
-		f.linkFree[i] = 0
+	for _, l := range f.touched {
+		f.linkFree[l] = 0
 	}
+	f.touched = f.touched[:0]
 	for i := range f.injFree {
 		f.injFree[i] = 0
 	}
@@ -131,7 +159,7 @@ func (f *Fabric) Reserve(now sim.Time, src, dst, bytes int) Xmit {
 	if bytes <= 0 {
 		panic(fmt.Sprintf("network: message of %d bytes", bytes))
 	}
-	route := f.topo.Route(src, dst)
+	route := f.routeFor(src, dst)
 	dur := sim.Time(bytes)*f.ByteTime + sim.Time(len(route))*f.SwitchDelay
 	if f.slow != nil {
 		// A circuit is only as fast as its slowest link.
@@ -160,6 +188,9 @@ func (f *Fabric) Reserve(now sim.Time, src, dst, bytes int) Xmit {
 	f.injFree[src] = end
 	f.ejFree[dst] = end
 	for _, l := range route {
+		if f.linkFree[l] == 0 {
+			f.touched = append(f.touched, int32(l))
+		}
 		f.linkFree[l] = end
 	}
 	f.Messages++

@@ -1,0 +1,186 @@
+package network
+
+import (
+	"testing"
+
+	"spasm/internal/sim"
+)
+
+// Large-P routing: above RouteTableMaxP there is no precomputed table —
+// Route computes into the topology's scratch buffer and the fabric
+// fronts it with a bounded route cache.  These tests pin three
+// properties of that path: it agrees with the AppendRoute oracle, it
+// never allocates per message, and the cache cannot return a wrong
+// route even under heavy eviction.
+
+// largeTopos builds all five topologies at p.
+func largeTopos(p int) []Topology {
+	return []Topology{NewFull(p), NewCube(p), NewMesh(p), NewRing(p), NewTorus(p)}
+}
+
+// TestLargePRouteMatchesOracle cross-checks Route against the
+// AppendRoute oracle for every topology at and above the table limit.
+// p=128 exercises the last table-backed size, 256 and 1024 the scratch
+// path; pairs are strided to keep the sweep fast at p=1024.
+func TestLargePRouteMatchesOracle(t *testing.T) {
+	for _, p := range []int{128, 256, 1024} {
+		for _, topo := range largeTopos(p) {
+			stride := 1
+			if p > 128 {
+				stride = p / 64
+			}
+			for src := 0; src < p; src += stride {
+				for dst := 0; dst < p; dst += stride + 1 {
+					if src == dst {
+						continue
+					}
+					got := topo.Route(src, dst)
+					want := topo.AppendRoute(nil, src, dst)
+					if len(got) != len(want) {
+						t.Fatalf("%s(%d) route %d->%d: Route %v != oracle %v",
+							topo.Name(), p, src, dst, got, want)
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("%s(%d) route %d->%d: Route %v != oracle %v",
+								topo.Name(), p, src, dst, got, want)
+						}
+					}
+					// The route must also be link-consistent: a walk
+					// over LinkEnds from src arrives at dst.
+					cur := src
+					for _, l := range got {
+						from, to := topo.LinkEnds(l)
+						if from != cur {
+							t.Fatalf("%s(%d) route %d->%d: link %d starts at %d, not %d",
+								topo.Name(), p, src, dst, l, from, cur)
+						}
+						cur = to
+					}
+					if cur != dst {
+						t.Fatalf("%s(%d) route %d->%d ends at %d", topo.Name(), p, src, dst, cur)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLargePRouteZeroAllocs pins the scratch path: Route above
+// RouteTableMaxP must not allocate per call at any p.
+func TestLargePRouteZeroAllocs(t *testing.T) {
+	for _, p := range []int{256, 1024} {
+		for _, topo := range largeTopos(p) {
+			topo := topo
+			var sink []int
+			allocs := testing.AllocsPerRun(100, func() {
+				for src := 0; src < p; src += 61 {
+					dst := (src + p/2 + 1) % p
+					sink = topo.Route(src, dst)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%s(%d).Route allocates %.1f times per sweep; want 0",
+					topo.Name(), p, allocs)
+			}
+			_ = sink
+		}
+	}
+}
+
+// TestLargePReserveZeroAllocs pins the fabric's large-P hot path: with
+// the route cache in front of on-demand routing, Reserve must stay
+// allocation-free per message at p=256 and p=1024 (the warm-up pass
+// populates the cache and the touched-link list; steady state repeats
+// the same working set, as coherence traffic does).
+func TestLargePReserveZeroAllocs(t *testing.T) {
+	for _, p := range []int{256, 1024} {
+		for _, mk := range []func(int) Topology{
+			func(p int) Topology { return NewCube(p) },
+			func(p int) Topology { return NewMesh(p) },
+			func(p int) Topology { return NewTorus(p) },
+		} {
+			topo := mk(p)
+			f := NewFabric(topo)
+			now := sim.Time(0)
+			allocs := testing.AllocsPerRun(100, func() {
+				for src := 0; src < p; src += 17 {
+					dst := (src + 13) % p
+					x := f.Reserve(now, src, dst, 32)
+					now = x.End
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("Reserve on %s(%d) allocates %.1f times per sweep; want 0",
+					topo.Name(), p, allocs)
+			}
+		}
+	}
+}
+
+// TestRouteCacheMatchesCompute drives a route cache far past its
+// capacity so every set sees evictions, checking each returned route
+// against the oracle (including immediate re-lookups, which must hit).
+func TestRouteCacheMatchesCompute(t *testing.T) {
+	const p = 256
+	topo := NewTorus(p)
+	rc := newRouteCache(topo)
+	check := func(src, dst int) {
+		got := rc.route(src, dst)
+		want := topo.AppendRoute(nil, src, dst)
+		if len(got) != len(want) {
+			t.Fatalf("cache route %d->%d: %v != oracle %v", src, dst, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("cache route %d->%d: %v != oracle %v", src, dst, got, want)
+			}
+		}
+	}
+	// p*p/4 distinct pairs >> routeCacheSets*routeCacheWays slots.
+	for src := 0; src < p; src += 2 {
+		for dst := 0; dst < p; dst += 2 {
+			if src == dst {
+				continue
+			}
+			check(src, dst)
+			check(src, dst) // immediate re-lookup: served from the slot
+		}
+	}
+}
+
+// TestFabricLargePMatchesSmallPattern verifies the cached-route fabric
+// produces exactly the schedules the table-backed fabric logic would:
+// the same message sequence on the same topology must yield identical
+// Xmit schedules whether routes come from the cache or the oracle.
+func TestFabricLargePMatchesSmallPattern(t *testing.T) {
+	const p = 256
+	run := func(f *Fabric) []Xmit {
+		var out []Xmit
+		now := sim.Time(0)
+		for i := 0; i < 4*p; i++ {
+			src := (i * 7) % p
+			dst := (src + i%11 + 1) % p
+			if src == dst {
+				continue
+			}
+			x := f.Reserve(now, src, dst, 32)
+			out = append(out, x)
+			now = x.Start + 1
+		}
+		return out
+	}
+	cached := run(NewFabric(NewMesh(p)))
+	// A fabric with the cache knocked out routes via topology scratch.
+	plain := NewFabric(NewMesh(p))
+	plain.rc = nil
+	want := run(plain)
+	if len(cached) != len(want) {
+		t.Fatalf("schedule counts differ: %d != %d", len(cached), len(want))
+	}
+	for i := range cached {
+		if cached[i] != want[i] {
+			t.Fatalf("schedule %d differs: cached %+v != plain %+v", i, cached[i], want[i])
+		}
+	}
+}

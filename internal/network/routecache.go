@@ -1,0 +1,78 @@
+package network
+
+// routeCache is a bounded set-associative cache of full routes, used by
+// the detailed fabric above RouteTableMaxP where the complete route
+// table would cost O(p² · diameter) memory.  Coherence traffic is
+// heavily skewed — a node talks mostly to the homes of the blocks it
+// touches — so a few thousand hot (src, dst) pairs cover the vast
+// majority of messages, and a miss only costs recomputing one route
+// into the victim slot's preallocated buffer: zero allocations per
+// message, hit or miss.
+//
+// Replacement is LRU within each set, tracked by a monotone access
+// tick.  Everything about the cache is a deterministic function of the
+// message sequence, and a cached route equals the computed route by
+// construction, so the cache cannot perturb simulation results — which
+// is also why it never needs resetting between runs of the same
+// topology.
+const (
+	routeCacheSets = 512
+	routeCacheWays = 4
+)
+
+type routeCacheSlot struct {
+	key  int64 // src*p + dst, -1 when empty
+	tick uint64
+	buf  []int // the route, in a buffer of capacity Diameter()
+}
+
+type routeCache struct {
+	topo  Topology
+	slots []routeCacheSlot // routeCacheSets * routeCacheWays, set-major
+	tick  uint64
+}
+
+func newRouteCache(t Topology) *routeCache {
+	rc := &routeCache{
+		topo:  t,
+		slots: make([]routeCacheSlot, routeCacheSets*routeCacheWays),
+	}
+	d := t.Diameter()
+	for i := range rc.slots {
+		rc.slots[i].key = -1
+		rc.slots[i].buf = make([]int, 0, d)
+	}
+	return rc
+}
+
+// route returns the src→dst route from the cache, computing it into the
+// least-recently-used slot of its set on a miss.  The returned slice
+// aliases the slot's buffer with its capacity clipped: callers must not
+// modify it, and it is only valid until a later route call evicts the
+// slot — the fabric consumes each route within one Reserve call.
+func (rc *routeCache) route(src, dst int) []int {
+	key := int64(src)*int64(rc.topo.P()) + int64(dst)
+	// Multiplicative hash spreads the (src-major) key space over the
+	// sets so one node's fan-out doesn't pile into one set.
+	set := int((uint64(key) * 0x9E3779B97F4A7C15 >> 32) & (routeCacheSets - 1))
+	base := set * routeCacheWays
+	rc.tick++
+	victim := base
+	for i := base; i < base+routeCacheWays; i++ {
+		s := &rc.slots[i]
+		if s.key == key {
+			s.tick = rc.tick
+			n := len(s.buf)
+			return s.buf[:n:n]
+		}
+		if s.tick < rc.slots[victim].tick {
+			victim = i
+		}
+	}
+	s := &rc.slots[victim]
+	s.key = key
+	s.tick = rc.tick
+	s.buf = rc.topo.AppendRoute(s.buf[:0], src, dst)
+	n := len(s.buf)
+	return s.buf[:n:n]
+}

@@ -1,20 +1,25 @@
 package network
 
 // Route-table precomputation.  The topologies of the study are small
-// (the coherence directory caps machines at 64 nodes) and their routing
-// is deterministic, so every route can be materialized once at
-// construction into a single contiguous arena.  Route then becomes two
-// array loads and a slice header — zero allocations per call — which
-// takes per-message route building off the fabric's hot path entirely.
+// (the paper sweeps p ≤ 64) and their routing is deterministic, so every
+// route can be materialized once at construction into a single
+// contiguous arena.  Route then becomes two array loads and a slice
+// header — zero allocations per call — which takes per-message route
+// building off the fabric's hot path entirely.
 //
-// Above routeTableMaxP nodes the table would cost O(p² · diameter)
-// memory, so construction falls back to computing routes on demand
-// (Route then allocates; the detailed fabric never runs that large).
+// Above RouteTableMaxP nodes the table would cost O(p² · diameter)
+// memory, so construction instead preallocates a diameter-sized scratch
+// buffer per topology and Route computes each route on demand into it —
+// still zero allocations per call, at the price of the returned slice
+// being valid only until the next Route call (see Topology.Route).  The
+// detailed fabric additionally keeps a small set-associative cache of
+// hot full routes (routecache.go) in front of this path.
 
-// routeTableMaxP bounds precomputation: tables exist only for p values
-// up to this limit (the paper sweeps p ≤ 64; 128 leaves headroom for
-// scaling studies while keeping the largest table around a megabyte).
-const routeTableMaxP = 128
+// RouteTableMaxP bounds precomputation: tables exist only for p values
+// up to this limit (128 leaves headroom for scaling studies while
+// keeping the largest table around a megabyte).  Larger machines use the
+// on-demand scratch path.
+const RouteTableMaxP = 128
 
 // routeTable holds every src→dst route of a topology, concatenated into
 // one arena slice with (p·p+1) offsets.
@@ -26,14 +31,15 @@ type routeTable struct {
 
 // appendRouter is the compute form of a topology's routing function:
 // append the links of the src→dst route to buf and return the extended
-// slice.  Each topology keeps its original routing logic in this form;
-// the table is built from it and Route serves from the table.
+// slice.  Each topology exposes its routing logic in this form as
+// AppendRoute; the table is built from it and Route serves from the
+// table (or, at large p, computes through it into reusable scratch).
 type appendRouter func(buf []int, src, dst int) []int
 
 // buildRouteTable materializes all p·(p-1) routes of a topology, or
-// returns nil when p exceeds routeTableMaxP.
+// returns nil when p exceeds RouteTableMaxP.
 func buildRouteTable(p int, route appendRouter) *routeTable {
-	if p > routeTableMaxP {
+	if p > RouteTableMaxP {
 		return nil
 	}
 	rt := &routeTable{p: p, off: make([]int32, p*p+1)}

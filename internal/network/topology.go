@@ -29,9 +29,18 @@ type Topology interface {
 	NumLinks() int
 	// Route returns the directed links a message from src to dst
 	// traverses, in order.  src must differ from dst.  The returned
-	// slice may alias a precomputed route table shared by all callers;
-	// it must not be modified in place.
+	// slice may alias a precomputed route table shared by all callers
+	// (p <= RouteTableMaxP) or the topology's reusable scratch buffer
+	// (larger p); it must not be modified in place, and above
+	// RouteTableMaxP it is only valid until the next Route call on the
+	// same topology — callers that hold routes across calls must copy,
+	// or use AppendRoute with their own buffer.
 	Route(src, dst int) []int
+	// AppendRoute appends the links of the src→dst route to buf and
+	// returns the extended slice: the allocation-free routing primitive
+	// Route itself is built on.  A route is never longer than
+	// Diameter(), so a buffer with that capacity never grows.
+	AppendRoute(buf []int, src, dst int) []int
 	// LinkEnds returns the endpoints of directed link id.
 	LinkEnds(id int) (from, to int)
 	// Hops returns the routing distance from src to dst.
@@ -60,15 +69,19 @@ func checkP(p int) {
 // Full is the fully connected network: two serial links (one per
 // direction) between every pair of nodes.
 type Full struct {
-	p  int
-	rt *routeTable
+	p       int
+	rt      *routeTable
+	scratch []int
 }
 
 // NewFull returns a fully connected network over p nodes.
 func NewFull(p int) *Full {
 	checkP(p)
 	f := &Full{p: p}
-	f.rt = buildRouteTable(p, f.appendRoute)
+	f.rt = buildRouteTable(p, f.AppendRoute)
+	if f.rt == nil {
+		f.scratch = make([]int, 0, f.Diameter())
+	}
 	return f
 }
 
@@ -76,7 +89,8 @@ func (f *Full) Name() string  { return "full" }
 func (f *Full) P() int        { return f.p }
 func (f *Full) NumLinks() int { return f.p * f.p }
 
-func (f *Full) appendRoute(buf []int, src, dst int) []int {
+// AppendRoute: the direct link src→dst.
+func (f *Full) AppendRoute(buf []int, src, dst int) []int {
 	return append(buf, src*f.p+dst)
 }
 
@@ -85,7 +99,8 @@ func (f *Full) Route(src, dst int) []int {
 	if f.rt != nil {
 		return f.rt.route(src, dst)
 	}
-	return f.appendRoute(nil, src, dst)
+	f.scratch = f.AppendRoute(f.scratch[:0], src, dst)
+	return f.scratch
 }
 
 func (f *Full) LinkEnds(id int) (from, to int) { return id / f.p, id % f.p }
@@ -110,16 +125,20 @@ func (f *Full) check(src, dst int) {
 // Cube is the binary hypercube: each edge of the cube has a link in each
 // direction, and routing is dimension-ordered (e-cube).
 type Cube struct {
-	p    int
-	dims int
-	rt   *routeTable
+	p       int
+	dims    int
+	rt      *routeTable
+	scratch []int
 }
 
 // NewCube returns a binary hypercube over p = 2^k nodes.
 func NewCube(p int) *Cube {
 	checkP(p)
 	c := &Cube{p: p, dims: bits.TrailingZeros(uint(p))}
-	c.rt = buildRouteTable(p, c.appendRoute)
+	c.rt = buildRouteTable(p, c.AppendRoute)
+	if c.rt == nil {
+		c.scratch = make([]int, 0, c.Diameter())
+	}
 	return c
 }
 
@@ -128,10 +147,10 @@ func (c *Cube) P() int        { return c.p }
 func (c *Cube) Dims() int     { return c.dims }
 func (c *Cube) NumLinks() int { return c.p * c.dims }
 
-// appendRoute applies e-cube routing: correct differing address bits
+// AppendRoute applies e-cube routing: correct differing address bits
 // from least to most significant.  Link node*dims+d runs from node to
 // node^(1<<d).
-func (c *Cube) appendRoute(buf []int, src, dst int) []int {
+func (c *Cube) AppendRoute(buf []int, src, dst int) []int {
 	cur := src
 	for d := 0; d < c.dims; d++ {
 		if (cur^dst)&(1<<d) != 0 {
@@ -142,13 +161,15 @@ func (c *Cube) appendRoute(buf []int, src, dst int) []int {
 	return buf
 }
 
-// Route returns the e-cube route from the precomputed table.
+// Route returns the e-cube route from the precomputed table (or the
+// scratch buffer at large p).
 func (c *Cube) Route(src, dst int) []int {
 	c.check(src, dst)
 	if c.rt != nil {
 		return c.rt.route(src, dst)
 	}
-	return c.appendRoute(nil, src, dst)
+	c.scratch = c.AppendRoute(c.scratch[:0], src, dst)
+	return c.scratch
 }
 
 func (c *Cube) LinkEnds(id int) (from, to int) {
@@ -188,6 +209,7 @@ func (c *Cube) check(src, dst int) {
 type Mesh struct {
 	p, rows, cols int
 	rt            *routeTable
+	scratch       []int
 }
 
 // Directions for mesh link ids: link id = node*4 + direction.
@@ -212,7 +234,10 @@ func NewMesh(p int) *Mesh {
 		cols = 2 * rows
 	}
 	m := &Mesh{p: p, rows: rows, cols: cols}
-	m.rt = buildRouteTable(p, m.appendRoute)
+	m.rt = buildRouteTable(p, m.AppendRoute)
+	if m.rt == nil {
+		m.scratch = make([]int, 0, m.Diameter())
+	}
 	return m
 }
 
@@ -225,9 +250,9 @@ func (m *Mesh) NumLinks() int { return m.p * 4 }
 func (m *Mesh) node(r, c int) int       { return r*m.cols + c }
 func (m *Mesh) coords(n int) (r, c int) { return n / m.cols, n % m.cols }
 
-// appendRoute is X-first dimension-ordered: travel east/west to the
+// AppendRoute is X-first dimension-ordered: travel east/west to the
 // target column, then north/south to the target row.
-func (m *Mesh) appendRoute(buf []int, src, dst int) []int {
+func (m *Mesh) AppendRoute(buf []int, src, dst int) []int {
 	sr, sc := m.coords(src)
 	dr, dc := m.coords(dst)
 	r, c := sr, sc
@@ -250,13 +275,15 @@ func (m *Mesh) appendRoute(buf []int, src, dst int) []int {
 	return buf
 }
 
-// Route returns the X-first route from the precomputed table.
+// Route returns the X-first route from the precomputed table (or the
+// scratch buffer at large p).
 func (m *Mesh) Route(src, dst int) []int {
 	m.check(src, dst)
 	if m.rt != nil {
 		return m.rt.route(src, dst)
 	}
-	return m.appendRoute(nil, src, dst)
+	m.scratch = m.AppendRoute(m.scratch[:0], src, dst)
+	return m.scratch
 }
 
 func (m *Mesh) LinkEnds(id int) (from, to int) {

@@ -56,6 +56,14 @@ const (
 	// DefaultMaxEpochs bounds a profile's length; crossing it merges
 	// adjacent epochs and doubles the epoch length.
 	DefaultMaxEpochs = 192
+	// DefaultMaxLinks bounds the distinct per-link samples held per
+	// epoch.  Small machines never reach it (the paper's topologies have
+	// at most 4096 directed links at p=64), but at 1024 processors the
+	// fully connected fabric has a million links, and an unbudgeted map
+	// per epoch would dwarf the simulation itself.  Activity on links
+	// beyond the budget folds into one overflow aggregate per epoch,
+	// recorded under link id NumLinks (one past the real id space).
+	DefaultMaxLinks = 4096
 	// HistBuckets is the number of log₂ message-delay buckets: bucket i
 	// counts delays d (in sim.Time units) with 2^i <= d < 2^(i+1)
 	// (bucket 0 also collects d < 1); the last bucket is unbounded.
@@ -69,6 +77,10 @@ type Config struct {
 	// MaxEpochs caps the number of epochs held; on overflow the
 	// resolution halves (0 = DefaultMaxEpochs; minimum 2).
 	MaxEpochs int
+	// MaxLinks caps the distinct per-link samples held per epoch; link
+	// activity beyond it folds into an overflow aggregate under link id
+	// NumLinks (0 = DefaultMaxLinks; minimum 1).
+	MaxLinks int
 }
 
 // ProcSample is one processor's activity within one epoch: the deltas of
@@ -294,29 +306,49 @@ type epochAcc struct {
 	hist  [HistBuckets]uint64
 }
 
-func (e *epochAcc) link(id int) *LinkSample {
+// link returns the accumulator for link id, enforcing the per-epoch
+// budget: once the epoch holds budget distinct ids, activity on any
+// further id folds into one overflow aggregate recorded under ovfID
+// (the id one past the real link space).  Ids already held — including
+// the overflow itself — keep accumulating individually, so which links
+// get their own sample is a deterministic function of touch order.
+func (e *epochAcc) link(id, budget, ovfID int) *LinkSample {
 	if e.links == nil {
 		e.links = make(map[int]*LinkSample)
 	}
 	l, ok := e.links[id]
 	if !ok {
+		if len(e.links) >= budget && id != ovfID {
+			return e.link(ovfID, budget+1, ovfID)
+		}
 		l = &LinkSample{Link: id}
 		e.links[id] = l
 	}
 	return l
 }
 
-// merge folds o into e (pairwise epoch merge during a rescale).
-func (e *epochAcc) merge(o *epochAcc) {
+// merge folds o into e (pairwise epoch merge during a rescale).  Link
+// ids are folded in ascending order: when the budget binds mid-merge,
+// which ids keep individual samples must not depend on map iteration
+// order.
+func (e *epochAcc) merge(o *epochAcc, budget, ovfID int) {
 	for i := range e.procs {
 		e.procs[i].add(&o.procs[i])
 	}
-	for id, ol := range o.links {
-		l := e.link(id)
-		l.Busy += ol.Busy
-		l.Wait += ol.Wait
-		l.Messages += ol.Messages
-		l.Bytes += ol.Bytes
+	if len(o.links) > 0 {
+		ids := make([]int, 0, len(o.links))
+		for id := range o.links {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			ol := o.links[id]
+			l := e.link(id, budget, ovfID)
+			l.Busy += ol.Busy
+			l.Wait += ol.Wait
+			l.Messages += ol.Messages
+			l.Bytes += ol.Bytes
+		}
 	}
 	for i := range e.hist {
 		e.hist[i] += o.hist[i]
@@ -339,6 +371,7 @@ type Profiler struct {
 
 	epochLen  sim.Time
 	maxEpochs int
+	maxLinks  int
 	epochs    []epochAcc
 	closed    int // fully closed epochs; epoch `closed` is open
 	snap      []procSnap
@@ -354,7 +387,19 @@ func New(cfg Config) *Profiler {
 	if cfg.MaxEpochs < 2 {
 		cfg.MaxEpochs = DefaultMaxEpochs
 	}
-	return &Profiler{cfg: cfg, epochLen: cfg.EpochLen, maxEpochs: cfg.MaxEpochs}
+	if cfg.MaxLinks < 1 {
+		cfg.MaxLinks = DefaultMaxLinks
+	}
+	return &Profiler{cfg: cfg, epochLen: cfg.EpochLen,
+		maxEpochs: cfg.MaxEpochs, maxLinks: cfg.MaxLinks}
+}
+
+// linkAt returns epoch e's accumulator for link id under the profiler's
+// budget; the overflow aggregate sits at id NumLinks (the id space on
+// the machine being profiled — the fabric's links or the flow tier's
+// resource space).
+func (pr *Profiler) linkAt(e *epochAcc, id int) *LinkSample {
+	return e.link(id, pr.maxLinks, pr.numLinks)
 }
 
 // Reset returns the profiler to its post-New state so it can sample
@@ -373,6 +418,7 @@ func (pr *Profiler) Reset() {
 	pr.topo = ""
 	pr.epochLen = pr.cfg.EpochLen
 	pr.maxEpochs = pr.cfg.MaxEpochs
+	pr.maxLinks = pr.cfg.MaxLinks
 	for i := range pr.epochs {
 		pr.epochs[i] = epochAcc{}
 	}
@@ -544,7 +590,7 @@ func (pr *Profiler) rescale() {
 			pr.epochs[i] = pr.epochs[2*i]
 		}
 		if 2*i+1 < len(pr.epochs) {
-			pr.epochs[i].merge(&pr.epochs[2*i+1])
+			pr.epochs[i].merge(&pr.epochs[2*i+1], pr.maxLinks, pr.numLinks)
 		}
 	}
 	pr.epochs = pr.epochs[:n]
@@ -560,7 +606,7 @@ func (pr *Profiler) fabricXmit(now sim.Time, x network.Xmit, src, dst, bytes int
 	dep.hist[histBucket(x.End-now)]++
 	for _, id := range route {
 		// Message counters and waiting charge to the departure epoch.
-		l := pr.epochAt(now).link(id)
+		l := pr.linkAt(pr.epochAt(now), id)
 		l.Messages++
 		l.Bytes += uint64(bytes)
 		l.Wait += x.Wait
@@ -578,7 +624,7 @@ func (pr *Profiler) addLinkSpan(id int, start, end sim.Time) {
 		if edge > end {
 			edge = end
 		}
-		e.link(id).Busy += edge - t
+		pr.linkAt(e, id).Busy += edge - t
 		t = edge
 	}
 }
@@ -591,7 +637,7 @@ func (pr *Profiler) addLinkSpan(id int, start, end sim.Time) {
 // sharing happened on, through the unchanged encode format.
 func (pr *Profiler) flowXmit(now sim.Time, x flow.Xmit, src, dst, bytes int) {
 	pr.epochAt(now).hist[histBucket(x.End-now)]++
-	l := pr.epochAt(now).link(x.Bottleneck)
+	l := pr.linkAt(pr.epochAt(now), x.Bottleneck)
 	l.Messages++
 	l.Bytes += uint64(bytes)
 	l.Wait += x.Wait

@@ -1,0 +1,73 @@
+package spasm
+
+// The acceptance runs for the large-P work: a 1024-processor flow-tier
+// run and a 256-processor coherent Target run must complete cleanly —
+// no directory panic, no route-table cliff, no per-message allocation
+// blow-up — and produce self-consistent statistics.  The uniform
+// synthetic-traffic workload drives them: its cost is linear in P and
+// its Check replays the deterministic reference stream, so completion
+// implies the traffic was exactly the scheduled traffic.
+
+import (
+	"testing"
+
+	"spasm/internal/stats"
+)
+
+func TestFlow1024Procs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-processor run")
+	}
+	res, err := RunExtended("uniform", Tiny, 1, Config{Kind: Flow, Topology: "torus", P: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Total <= 0 {
+		t.Fatalf("run completed with non-positive total %v", res.Stats.Total)
+	}
+	if res.Stats.NetAccesses() == 0 {
+		t.Fatal("1024-processor run carried no network traffic")
+	}
+	if got := len(res.Stats.Procs); got != 1024 {
+		t.Fatalf("statistics cover %d processors, want 1024", got)
+	}
+}
+
+func TestTarget256Procs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-processor coherent run")
+	}
+	res, err := RunExtended("uniform", Tiny, 1, Config{Kind: Target, Topology: "mesh", P: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Total <= 0 {
+		t.Fatalf("run completed with non-positive total %v", res.Stats.Total)
+	}
+	// A coherent run at this scale must have exercised the directory:
+	// uniform writes to shared blocks force invalidations.
+	if res.Stats.Count(func(q *stats.Proc) uint64 { return q.Invals }) == 0 {
+		t.Fatal("coherent 256-processor run produced no invalidations")
+	}
+}
+
+// TestFlow256ProcsParallelIdentical drives a 256-processor flow-tier
+// spec through the parallel-workers path: the conservative kernel must
+// stay bit-identical to the sequential one at large P.
+func TestFlow256ProcsParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-processor runs")
+	}
+	seq, err := RunSpec(Spec{App: "uniform", Machine: Flow, Topology: "mesh", P: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSpec(Spec{App: "uniform", Machine: Flow, Topology: "mesh", P: 256, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Stats.Total != par.Stats.Total || seq.Stats.Messages() != par.Stats.Messages() {
+		t.Fatalf("parallel run diverged: %v/%d vs %v/%d",
+			par.Stats.Total, par.Stats.Messages(), seq.Stats.Total, seq.Stats.Messages())
+	}
+}

@@ -258,6 +258,13 @@ func Micros(us float64) Time { return sim.Micros(us) }
 // "target") to its Kind.
 func ParseKind(s string) (Kind, error) { return machine.ParseKind(s) }
 
+// MaxPFor reports the largest processor count a machine kind supports;
+// Spec.Validate rejects specs beyond it.  The coherent machines (Target,
+// CLogP) are bounded by the directory's sharing-set representation at
+// 1024 nodes; the abstract tiers reach 65536 and the ideal machine a
+// million.
+func MaxPFor(k Kind) int { return machine.MaxPFor(k) }
+
 // ParseScale converts a scale name ("tiny", "small", "medium") to its
 // Scale.
 func ParseScale(s string) (Scale, error) { return apps.ParseScale(s) }

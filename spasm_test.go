@@ -99,8 +99,8 @@ func TestFacadeCustomProgram(t *testing.T) {
 }
 
 func TestFacadeExtendedApps(t *testing.T) {
-	if got := ExtendedApps(); len(got) != 1 || got[0] != "mg" {
-		t.Errorf("ExtendedApps() = %v", got)
+	if got := ExtendedApps(); len(got) != 2 || got[0] != "mg" || got[1] != "uniform" {
+		t.Errorf("ExtendedApps() = %v, want [mg uniform]", got)
 	}
 	res, err := RunExtended("mg", Tiny, 1, Config{Kind: CLogP, Topology: "cube", P: 4})
 	if err != nil {

@@ -110,6 +110,10 @@ func (s Spec) Validate() error {
 	if s.P < 1 {
 		return fmt.Errorf("spasm: spec needs P >= 1, got %d", s.P)
 	}
+	if max := machine.MaxPFor(s.Machine); s.P > max {
+		return fmt.Errorf("spasm: P=%d exceeds the %v machine's limit of %d processors",
+			s.P, s.Machine, max)
+	}
 	if s.PortMode != CombinedGap && s.PortMode != PerClassGap {
 		return fmt.Errorf("spasm: unknown port mode %v (have combined, per-class)", s.PortMode)
 	}

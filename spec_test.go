@@ -2,6 +2,7 @@ package spasm_test
 
 import (
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -89,6 +90,36 @@ func TestSpecValidate(t *testing.T) {
 	}
 	if err := (spasm.Spec{App: "fft", Adaptive: true, Machine: spasm.Flow, P: 4}).Validate(); err != nil {
 		t.Fatalf("adaptive flow spec rejected: %v", err)
+	}
+}
+
+// TestSpecValidateMaxP: processor counts beyond a machine kind's limit
+// are rejected with an error naming the kind and its bound — no spec
+// should ever reach the coherence engine's internal panic.
+func TestSpecValidateMaxP(t *testing.T) {
+	for _, kind := range []spasm.Kind{spasm.Ideal, spasm.Flow, spasm.LogP, spasm.CLogP, spasm.Target} {
+		max := spasm.MaxPFor(kind)
+		if max < 1024 {
+			t.Errorf("%v: limit %d below the 1024-processor floor", kind, max)
+		}
+		at := spasm.Spec{App: "fft", Machine: kind, P: max}
+		if err := at.Validate(); err != nil {
+			t.Errorf("%v: P at the limit (%d) rejected: %v", kind, max, err)
+		}
+		over := spasm.Spec{App: "fft", Machine: kind, P: max + 1}
+		err := over.Validate()
+		if err == nil {
+			t.Errorf("%v: P=%d (over the %d limit) accepted", kind, max+1, max)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, kind.String()) || !strings.Contains(msg, strconv.Itoa(max)) {
+			t.Errorf("%v: error %q does not name the kind and its limit %d", kind, msg, max)
+		}
+	}
+	// The coherent machines are bounded by the directory representation.
+	if got := spasm.MaxPFor(spasm.Target); got != 1024 {
+		t.Errorf("target limit = %d, want 1024", got)
 	}
 }
 
