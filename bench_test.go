@@ -237,22 +237,32 @@ func BenchmarkSweepThroughput(b *testing.B) {
 
 // BenchmarkLargeP measures the large-P hot paths: the uniform
 // synthetic-traffic workload on the flow and LogP tiers at 256 and 1024
-// processors (the torus keeps link state linear in P).  Two metrics
-// matter beyond ns/op:
+// processors (the torus keeps link state linear in P), and at the
+// 65536-processor kind limit on the hypercube (whose O(log P) routes
+// keep a run this wide tractable; torus routes are O(sqrt P) and the
+// flow tier's competitor walks along them make 65536 prohibitive).  Two
+// metrics matter beyond ns/op:
 //
 //   - events_per_sec: kernel event throughput — the number the sparse
-//     directory, on-demand routing, and O(touched) reset work exist to
-//     keep flat as P grows;
+//     directory, on-demand routing, ladder event queue, and O(touched)
+//     reset work exist to keep flat as P grows;
 //   - B/op (via ReportAllocs): bytes allocated per complete run — the
 //     memory-regression gate's input.  A per-message allocation sneaking
 //     back into a large-P path shows up here multiplied by the entire
 //     traffic volume.
+//
+// The p65536 cases take minutes per iteration; CI's regression gates run
+// only the p256/p1024 cases, and recordings cover the wide cases at
+// -benchtime 1x.
 func BenchmarkLargeP(b *testing.B) {
 	cases := []struct {
 		kind Kind
 		p    int
+		topo string
 	}{
-		{Flow, 256}, {Flow, 1024}, {LogP, 256}, {LogP, 1024},
+		{Flow, 256, "torus"}, {Flow, 1024, "torus"},
+		{LogP, 256, "torus"}, {LogP, 1024, "torus"},
+		{Flow, 65536, "cube"}, {LogP, 65536, "cube"},
 	}
 	for _, c := range cases {
 		c := c
@@ -261,7 +271,7 @@ func BenchmarkLargeP(b *testing.B) {
 			var events uint64
 			for i := 0; i < b.N; i++ {
 				res, err := RunExtended("uniform", Tiny, 1, Config{
-					Kind: c.kind, Topology: "torus", P: c.p,
+					Kind: c.kind, Topology: c.topo, P: c.p,
 				})
 				if err != nil {
 					b.Fatal(err)

@@ -12,8 +12,14 @@
 //	go run ./cmd/benchdiff                  # compare, fail on >50% ns/op or allocs/op regression
 //	go run ./cmd/benchdiff -threshold 2.0   # looser time gate
 //	go run ./cmd/benchdiff -alloc-threshold 0   # disable the allocation gate
-//	go run ./cmd/benchdiff -baseline BENCH_pr8.json -bench BenchmarkLargeP
+//	go run ./cmd/benchdiff -baseline BENCH_pr9.json -bench BenchmarkLargeP
 //	                                        # the large-P memory-regression gate
+//	go run ./cmd/benchdiff -events-threshold 0.67
+//	                                        # also gate events_per_sec throughput (lower is worse)
+//
+// A benchmark missing from the baseline fails the comparison (it would
+// pass every gate vacuously), as does a missing events_per_sec metric on
+// either side while -events-threshold is armed.
 //
 // The gate is deliberately loose (shared CI runners are noisy); its job is
 // to catch the "accidentally quadratic" class of regression, not 5% drift.
@@ -37,6 +43,10 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics carries the benchmark's custom b.ReportMetric values by
+	// unit name (e.g. "events_per_sec", "sim_events") — everything on
+	// the result line beyond the standard ns/op, B/op, allocs/op.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Baseline is the committed benchmark record.
@@ -63,6 +73,7 @@ func main() {
 		threshold    = flag.Float64("threshold", 1.5, "fail when current ns/op exceeds baseline * threshold")
 		allocGate    = flag.Float64("alloc-threshold", 1.5, "fail when current allocs/op exceeds baseline * alloc-threshold (0 disables)")
 		bytesGate    = flag.Float64("bytes-threshold", 1.5, "fail when current B/op exceeds baseline * bytes-threshold (0 disables)")
+		eventsGate   = flag.Float64("events-threshold", 0, "fail when current events_per_sec drops below baseline * events-threshold (0 disables; lower is worse)")
 		note         = flag.String("note", "", "note stored with a recorded baseline")
 	)
 	flag.Parse()
@@ -105,7 +116,11 @@ func main() {
 	for name, cur := range results {
 		b, ok := base.Benchmarks[name]
 		if !ok {
-			fmt.Printf("%-40s %12.0f ns/op  (no baseline entry)\n", name, cur.NsPerOp)
+			// A benchmark with no baseline entry would otherwise pass every
+			// gate vacuously — a renamed benchmark (or a stale baseline)
+			// silently disarms the gate it was supposed to feed.
+			fmt.Printf("%-40s %12.0f ns/op  MISSING: no entry in %s\n", name, cur.NsPerOp, *baselinePath)
+			failed = true
 			continue
 		}
 		ratio := cur.NsPerOp / b.NsPerOp
@@ -137,12 +152,36 @@ func main() {
 				failed = true
 			}
 		}
+		// Event throughput gates the opposite direction: events_per_sec is
+		// a rate, so a regression is a *drop* below baseline * threshold.
+		// With the gate armed, a side missing the metric is itself a
+		// failure — comparing against nothing proves nothing.
+		if *eventsGate > 0 {
+			const metric = "events_per_sec"
+			bv, bok := b.Metrics[metric]
+			cv, cok := cur.Metrics[metric]
+			switch {
+			case !bok:
+				allocNote += fmt.Sprintf("  MISSING baseline metric %s", metric)
+				failed = true
+			case !cok:
+				allocNote += fmt.Sprintf("  MISSING current metric %s", metric)
+				failed = true
+			default:
+				eratio := cv / bv
+				allocNote += fmt.Sprintf("  events %.2fx", eratio)
+				if eratio < *eventsGate {
+					verdict = "THROUGHPUT REGRESSION"
+					failed = true
+				}
+			}
+		}
 		fmt.Printf("%-40s %12.0f ns/op  baseline %12.0f  ratio %.2fx%s  %s\n",
 			name, cur.NsPerOp, b.NsPerOp, ratio, allocNote, verdict)
 	}
 	if failed {
-		fmt.Printf("FAIL: regressed past the gate (ns/op > %.2fx, allocs/op > %.2fx, or B/op > %.2fx) vs %s\n",
-			*threshold, *allocGate, *bytesGate, *baselinePath)
+		fmt.Printf("FAIL: regressed past the gate (ns/op > %.2fx, allocs/op > %.2fx, B/op > %.2fx, or events_per_sec < %.2fx) vs %s\n",
+			*threshold, *allocGate, *bytesGate, *eventsGate, *baselinePath)
 		os.Exit(1)
 	}
 	fmt.Println("PASS: no benchmark regressed past the gate")
@@ -214,6 +253,14 @@ func parseBenchLine(line string) (Result, string, bool) {
 			r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
 		case "allocs/op":
 			r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		default:
+			// Custom b.ReportMetric units (events_per_sec, sim_events, ...).
+			if f, err := strconv.ParseFloat(val, 64); err == nil {
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = f
+			}
 		}
 	}
 	if r.NsPerOp == 0 {

@@ -18,12 +18,33 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"spasm/internal/app"
 )
 
+// rngPool recycles PRNG state across reference streams.  A rand.Rand
+// over the default source carries ~5 KB of generator state; apps draw
+// two per processor per run (Body and the Check replay), which at large
+// P dominated whole-run allocation — ~10 MB per 1024-processor run —
+// before pooling.  Seeding fully determines the source state, so a
+// pooled generator re-seeded with the same seed emits the identical
+// stream a fresh one would: results are unaffected.
+var rngPool = sync.Pool{
+	New: func() any { return rand.New(rand.NewSource(0)) },
+}
+
 // newRng returns a deterministic PRNG for synthetic input generation.
-func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+// Pass it to putRng when the stream is done (a defer is fine: the
+// generator carries no run state, so returning it mid-unwind is safe).
+func newRng(seed int64) *rand.Rand {
+	rng := rngPool.Get().(*rand.Rand)
+	rng.Seed(seed)
+	return rng
+}
+
+// putRng returns a generator to the pool.
+func putRng(rng *rand.Rand) { rngPool.Put(rng) }
 
 // Instruction-cost model (cycles on the 33 MHz baseline processor).
 const (

@@ -3,7 +3,6 @@ package apps
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"spasm/internal/app"
 	"spasm/internal/mem"
@@ -93,7 +92,8 @@ func (e *EP) Setup(c *app.Ctx) {
 // counts and coordinate sums.  Each processor uses an independent seeded
 // stream, as NAS EP prescribes.
 func (e *EP) tally(id, n int) (bins [10]int64, sx, sy float64) {
-	rng := rand.New(rand.NewSource(e.Seed*1000 + int64(id)))
+	rng := newRng(e.Seed*1000 + int64(id))
+	defer putRng(rng)
 	for k := 0; k < n; k++ {
 		x := 2*rng.Float64() - 1
 		y := 2*rng.Float64() - 1

@@ -82,6 +82,7 @@ func (f *FFT) Setup(c *app.Ctx) {
 	}
 	f.input = make([]complex128, f.N)
 	rng := newRng(f.Seed)
+	defer putRng(rng)
 	for i := range f.input {
 		f.input[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
 	}

@@ -78,6 +78,7 @@ func (s *IS) Setup(c *app.Ctx) {
 		s.bars = append(s.bars, c.NewBarrier(fmt.Sprintf("is.bar%d", i), c.P, i%c.P))
 	}
 	rng := newRng(s.Seed)
+	defer putRng(rng)
 	s.keyv = make([]int64, s.N)
 	for i := range s.keyv {
 		// NAS IS keys are the average of four uniforms (roughly

@@ -69,6 +69,7 @@ func (m *MG) Setup(c *app.Ctx) {
 		m.levels++
 	}
 	rng := newRng(m.Seed)
+	defer putRng(rng)
 	n := m.N
 	h := 1.0 / float64(m.N+1)
 	for l := 0; l < m.levels; l++ {

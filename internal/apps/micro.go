@@ -94,6 +94,7 @@ func (m *Micro) Setup(c *app.Ctx) {
 // Body implements app.Program.
 func (m *Micro) Body(p *app.Proc) {
 	rng := newRng(m.Seed*1000 + int64(p.ID))
+	defer putRng(rng)
 	P := p.Ctx.P
 	for i := 0; i < m.Refs; i++ {
 		p.Compute(m.Think)

@@ -74,6 +74,7 @@ func (u *Uniform) Setup(c *app.Ctx) {
 // the same generator, which is what makes the run verifiable.
 func (u *Uniform) stream(id int, visit func(elem int, write bool)) {
 	rng := newRng(u.Seed*1000 + int64(id))
+	defer putRng(rng)
 	for i := 0; i < u.Refs; i++ {
 		elem := rng.Intn(u.arr.N)
 		write := rng.Intn(100) < u.WritePct

@@ -44,7 +44,6 @@ package flow
 
 import (
 	"fmt"
-	"sort"
 
 	"spasm/internal/network"
 	"spasm/internal/sim"
@@ -112,21 +111,25 @@ type Net struct {
 	// Competitor index: per-resource singly linked lists threaded
 	// through one entry arena.  resHead[id] is the first arena entry for
 	// resource id (-1: none); each entry names a flow index and the next
-	// entry.  Entries are pushed on commit (most-recent first) and the
-	// whole arena is rebuilt whenever prune compacts the table;
-	// resTouched records which head entries are non-empty so rebuilds
-	// and Reset clear O(active footprint), not O(nSpace) — on the fully
-	// connected topology nSpace is O(p²), and a dense [][]int32 index
-	// cost 24 bytes of header per resource besides.  Entries for flows
-	// that have already ended linger until the next sweep; every reader
-	// filters on end > t0, so they are invisible.  The index turns the
+	// entry, packed into eight bytes — the walk reads the flow's
+	// committed end (immutable after admission) from the flow table,
+	// which admissions keep hot anyway.  Entries are
+	// pushed on commit (most-recent first) and the whole arena is
+	// rebuilt whenever prune compacts the table; resTouched records
+	// which head entries are non-empty so rebuilds and Reset clear
+	// O(active footprint), not O(nSpace) — on the fully connected
+	// topology nSpace is O(p²), and a dense [][]int32 index cost 24
+	// bytes of header per resource besides.  Entries for flows that have
+	// already ended linger until the next sweep — every reader filters
+	// on end > t0, so they are invisible — but entries settled below the
+	// floor are unlinked in place as walks encounter them, so long-dead
+	// chains are not re-traversed between sweeps.  The index turns the
 	// per-Transfer competitor search from O(table × route) into a walk
 	// of the route's own lists.  Walk order does not affect results:
 	// competitor sets are deduplicated, their count updates commute, and
 	// allocate applies all equal-time boundaries together.
 	resHead    []int32
-	poolFlow   []int32
-	poolNext   []int32
+	pool       []poolEnt
 	resTouched []int32
 
 	seen  []int64 // per-flow-index visit stamp for the epoch dedup below
@@ -136,17 +139,15 @@ type Net struct {
 	onRoute []bool
 	cnt     []int32
 	ids     []int32    // the new flow's resource ids
-	bounds  []sim.Time // prune's end-time sort scratch
-	bSort   sort.Interface
-	comp    []int32 // indices into flows of the route-crossing competitors
+	bounds  []sim.Time // prune's end-time selection scratch
+	comp    []int32    // indices into flows of the route-crossing competitors
 
-	// allocate's event sweep scratch: parallel arrays of (time, flow,
-	// add/remove), sorted by time.  evSort is the preallocated sorter so
-	// the hot path never converts to sort.Interface.
-	evT    []sim.Time
-	evF    []int32
-	evAdd  []bool
-	evSort sort.Interface
+	// allocate's event-sweep arena: one reusable slice of boundary
+	// records, sorted by time per admission.  A single struct array
+	// keeps each boundary's fields on one cache line and sorts with an
+	// inlined comparator — no sort.Interface indirection, no multi-array
+	// swap.
+	evs []segEvent
 
 	// Messages and Bytes count all traffic carried.  Recomputes counts
 	// allocation recomputations — one per contended admission (however
@@ -185,19 +186,26 @@ func New(t network.Topology) *Net {
 	for i := range n.resHead {
 		n.resHead[i] = -1
 	}
-	n.evSort = eventSorter{n}
-	n.bSort = boundsSorter{n}
 	return n
 }
 
-// boundsSorter orders prune's end-time scratch; only the cutoff value
-// and the count of entries at it matter, so an unstable sort is fine.
-type boundsSorter struct{ n *Net }
+// segEvent is one boundary of allocate's event sweep: at time t,
+// competitor fi arrives (add) or departs on the new flow's route.
+type segEvent struct {
+	t   sim.Time
+	fi  int32
+	add bool
+}
 
-func (s boundsSorter) Len() int           { return len(s.n.bounds) }
-func (s boundsSorter) Less(i, j int) bool { return s.n.bounds[i] < s.n.bounds[j] }
-func (s boundsSorter) Swap(i, j int) {
-	s.n.bounds[i], s.n.bounds[j] = s.n.bounds[j], s.n.bounds[i]
+// poolEnt is one competitor-index arena entry: the named flow and the
+// next entry on the same resource's list, packed into one 8-byte load.
+// The flow's end time is read from the flow table (hot: every admission
+// touches it) rather than copied here — at saturation the arena holds
+// table x route entries, so every byte of entry width is megabytes of
+// per-run allocation.
+type poolEnt struct {
+	flow int32
+	next int32
 }
 
 // pushRes threads flow fi onto resource id's competitor list.
@@ -205,9 +213,8 @@ func (n *Net) pushRes(id, fi int32) {
 	if n.resHead[id] < 0 {
 		n.resTouched = append(n.resTouched, id)
 	}
-	n.poolFlow = append(n.poolFlow, fi)
-	n.poolNext = append(n.poolNext, n.resHead[id])
-	n.resHead[id] = int32(len(n.poolFlow) - 1)
+	n.pool = append(n.pool, poolEnt{flow: fi, next: n.resHead[id]})
+	n.resHead[id] = int32(len(n.pool) - 1)
 }
 
 // clearRes empties the competitor index in O(touched resources).
@@ -216,22 +223,7 @@ func (n *Net) clearRes() {
 		n.resHead[id] = -1
 	}
 	n.resTouched = n.resTouched[:0]
-	n.poolFlow = n.poolFlow[:0]
-	n.poolNext = n.poolNext[:0]
-}
-
-// eventSorter orders allocate's parallel event arrays by time.  Equal
-// times may land in any order: all events at one boundary are applied
-// before the next segment's counts are read, and adds/removes commute.
-type eventSorter struct{ n *Net }
-
-func (s eventSorter) Len() int           { return len(s.n.evT) }
-func (s eventSorter) Less(i, j int) bool { return s.n.evT[i] < s.n.evT[j] }
-func (s eventSorter) Swap(i, j int) {
-	n := s.n
-	n.evT[i], n.evT[j] = n.evT[j], n.evT[i]
-	n.evF[i], n.evF[j] = n.evF[j], n.evF[i]
-	n.evAdd[i], n.evAdd[j] = n.evAdd[j], n.evAdd[i]
+	n.pool = n.pool[:0]
 }
 
 // P returns the number of nodes.
@@ -332,7 +324,12 @@ func (n *Net) prune() {
 		for i := range n.flows {
 			n.bounds = append(n.bounds, n.flows[i].end)
 		}
-		sort.Sort(n.bSort)
+		// Only the cutoff value (and the tie count below it) matter, so a
+		// partial selection replaces the former full sort: the cutoff and
+		// tie count are order statistics, identical whichever algorithm
+		// finds them, so eviction — and every schedule after it — is
+		// unchanged.
+		selectKth(n.bounds, evict-1)
 		cut := n.bounds[evict-1]
 		ties := evict
 		for _, e := range n.bounds[:evict] {
@@ -416,20 +413,38 @@ func (n *Net) Transfer(now sim.Time, src, dst, bytes int) Xmit {
 	// competitor can run into them.)
 	n.comp = n.comp[:0]
 	contended := false
-	for len(n.seen) < len(n.flows)+1 {
-		n.seen = append(n.seen, 0)
+	if len(n.seen) <= len(n.flows) {
+		n.seen = append(n.seen, make([]int64, len(n.flows)+1-len(n.seen))...)
 	}
 	n.epoch++
+	floor := n.floor
 	for _, rid := range n.ids {
-		for e := n.resHead[rid]; e >= 0; e = n.poolNext[e] {
-			fi := n.poolFlow[e]
-			if n.seen[fi] == n.epoch {
+		prev := int32(-1)
+		for e := n.resHead[rid]; e >= 0; {
+			ent := &n.pool[e]
+			nxt := ent.next
+			fi := ent.flow
+			fend := n.flows[fi].end
+			if fend <= floor {
+				// Settled for good (no future departure can precede the
+				// floor): unlink so no later walk re-traverses it.  The
+				// arena slot itself is reclaimed at the next rebuild.
+				if prev < 0 {
+					n.resHead[rid] = nxt
+				} else {
+					n.pool[prev].next = nxt
+				}
+				e = nxt
 				continue
 			}
-			n.seen[fi] = n.epoch
-			if n.flows[fi].end > t0 {
-				n.comp = append(n.comp, fi)
+			if fend > t0 {
+				if n.seen[fi] != n.epoch {
+					n.seen[fi] = n.epoch
+					n.comp = append(n.comp, fi)
+				}
 			}
+			prev = e
+			e = nxt
 		}
 	}
 	for _, ci := range n.comp {
@@ -505,7 +520,7 @@ func (n *Net) Transfer(now sim.Time, src, dst, bytes int) Xmit {
 // maximal count.
 func (n *Net) allocate(t0, need sim.Time) (end sim.Time, share, bottleneck int) {
 	n.Recomputes++
-	n.evT, n.evF, n.evAdd = n.evT[:0], n.evF[:0], n.evAdd[:0]
+	n.evs = n.evs[:0]
 	for _, ci := range n.comp {
 		f := &n.flows[ci]
 		if f.start <= t0 {
@@ -516,21 +531,26 @@ func (n *Net) allocate(t0, need sim.Time) (end sim.Time, share, bottleneck int) 
 				}
 			}
 		} else {
-			n.evT = append(n.evT, f.start)
-			n.evF = append(n.evF, ci)
-			n.evAdd = append(n.evAdd, true)
+			n.evs = append(n.evs, segEvent{t: f.start, fi: ci, add: true})
 		}
 		// comp is prefiltered on end > t0, so every departure is a
 		// future boundary.
-		n.evT = append(n.evT, f.end)
-		n.evF = append(n.evF, ci)
-		n.evAdd = append(n.evAdd, false)
+		n.evs = append(n.evs, segEvent{t: f.end, fi: ci})
 	}
-	sort.Sort(n.evSort)
+	// The boundaries form a min-heap on t rather than a fully sorted run:
+	// the sweep usually terminates within the first few segments (small
+	// messages finish long before most committed departures), so heapify
+	// at O(E) plus a log-cost pop per boundary actually crossed beats
+	// paying E log E to sort boundaries the walk never reaches.  Equal
+	// times may pop in any order: all events at one boundary are applied
+	// before the next segment's counts are read, and adds/removes commute.
+	evs := n.evs
+	for i := len(evs)/2 - 1; i >= 0; i-- {
+		siftDown(evs, i)
+	}
 
 	t := t0
 	remaining := need
-	ev := 0
 	for seg := 0; ; seg++ {
 		// k = 1 (the new flow) + the heaviest per-resource competitor
 		// count over the route during [t, next boundary).
@@ -545,12 +565,12 @@ func (n *Net) allocate(t0, need sim.Time) (end sim.Time, share, bottleneck int) 
 		if seg == 0 {
 			share, bottleneck = int(k), bn
 		}
-		if ev >= len(n.evT) {
+		if len(evs) == 0 {
 			// Past the last committed boundary nothing changes again.
 			end = t + remaining*k
 			break
 		}
-		next := n.evT[ev]
+		next := evs[0].t
 		if remaining*k <= next-t {
 			end = t + remaining*k
 			break
@@ -559,9 +579,9 @@ func (n *Net) allocate(t0, need sim.Time) (end sim.Time, share, bottleneck int) 
 		// deterministic and at most k-1 byte-times per segment.
 		remaining -= (next - t) / k
 		t = next
-		for ev < len(n.evT) && n.evT[ev] == next {
-			f := &n.flows[n.evF[ev]]
-			if n.evAdd[ev] {
+		for len(evs) > 0 && evs[0].t == next {
+			f := &n.flows[evs[0].fi]
+			if evs[0].add {
 				for _, id := range f.links {
 					if n.onRoute[id] {
 						n.cnt[id]++
@@ -574,11 +594,78 @@ func (n *Net) allocate(t0, need sim.Time) (end sim.Time, share, bottleneck int) 
 					}
 				}
 			}
-			ev++
+			last := len(evs) - 1
+			evs[0] = evs[last]
+			evs = evs[:last]
+			siftDown(evs, 0)
 		}
 	}
 	for _, id := range n.ids {
 		n.cnt[id] = 0
 	}
 	return end, share, bottleneck
+}
+
+// siftDown restores the min-heap-on-t property of evs for the subtree
+// rooted at i.  Ties are not broken: equal-time boundaries commute (see
+// allocate), so the heap needs no secondary key.
+func siftDown(evs []segEvent, i int) {
+	for {
+		c := 2*i + 1
+		if c >= len(evs) {
+			return
+		}
+		if r := c + 1; r < len(evs) && evs[r].t < evs[c].t {
+			c = r
+		}
+		if evs[i].t <= evs[c].t {
+			return
+		}
+		evs[i], evs[c] = evs[c], evs[i]
+		i = c
+	}
+}
+
+// selectKth partially orders s so s[k] is the k-th smallest value
+// (0-based) with every earlier element at most s[k] and every later one
+// at least s[k]: a deterministic in-place quickselect with
+// median-of-three pivoting.  prune uses it to find the eviction cutoff
+// in O(n) expected time instead of sorting the whole scratch.
+func selectKth(s []sim.Time, k int) {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] < s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[hi] < s[mid] {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		p := s[mid]
+		i, j := lo, hi
+		for i <= j {
+			for s[i] < p {
+				i++
+			}
+			for s[j] > p {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return
+		}
+	}
 }

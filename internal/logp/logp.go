@@ -21,6 +21,7 @@ package logp
 
 import (
 	"fmt"
+	"sync"
 
 	"spasm/internal/network"
 	"spasm/internal/sim"
@@ -80,10 +81,17 @@ type Net struct {
 	// array, PerClass the send/receive pair.  Allocating only what the
 	// mode gates keeps the per-node footprint flat at large P (one port
 	// array at 1024 nodes instead of three).
+	//
+	// Slots are initialized lazily: a node's ports are valid only while
+	// stamp[node] == gen.  gate re-stamps a node to -g on first touch
+	// after a Reset, which makes Reset O(1) instead of O(p) — at large P
+	// a pooled net is reset far more often than most nodes communicate.
 	p        int
 	last     []sim.Time // Combined: last network event per node
 	lastSend []sim.Time // PerClass ports
 	lastRecv []sim.Time
+	stamp    []uint32 // port-validity generation per node
+	gen      uint32   // current generation (never 0 while live)
 
 	// Messages counts every message carried; Crossing counts those
 	// that crossed the bisection (adaptive mode only).
@@ -104,38 +112,118 @@ func New(p int, l, g sim.Time, mode PortMode) *Net {
 	if l < 0 || g < 0 {
 		panic("logp: negative L or g")
 	}
-	n := &Net{L: l, G: g, Mode: mode, p: p}
+	n := &Net{L: l, G: g, Mode: mode, p: p, gen: 1}
 	if mode == Combined {
-		n.last = make([]sim.Time, p)
+		n.last = acquirePorts(p)
 	} else {
-		n.lastSend = make([]sim.Time, p)
-		n.lastRecv = make([]sim.Time, p)
+		n.lastSend = acquirePorts(p)
+		n.lastRecv = acquirePorts(p)
 	}
-	n.stampPorts()
+	n.stamp = acquireStamps(p)
 	return n
 }
 
-// stampPorts allows the first event at each node to happen at time zero.
-func (n *Net) stampPorts() {
-	for i := range n.last {
-		n.last[i] = -n.G
+// portFree recycles the large per-node arrays across Net lifetimes: a
+// pooled run context that is discarded (idle-cap overflow, failed run)
+// hands its arrays back through Release, and the replacement context's
+// New picks them up instead of allocating p (or 2p) fresh slots.  The
+// freelists are bounded; arrays that do not fit are left to the GC.
+var portFree struct {
+	sync.Mutex
+	ports  [][]sim.Time
+	stamps [][]uint32
+}
+
+// portFreeCap bounds each freelist: enough for a few discarded contexts
+// in flight (a PerClass net holds two port arrays) without pinning
+// arbitrarily many large arrays.
+const portFreeCap = 8
+
+// acquirePorts returns an uninitialized length-p port array, recycled
+// when one large enough is available.  Contents are arbitrary: port
+// slots are only read after gate's lazy re-stamp writes them.
+func acquirePorts(p int) []sim.Time {
+	portFree.Lock()
+	for i := len(portFree.ports) - 1; i >= 0; i-- {
+		if s := portFree.ports[i]; cap(s) >= p {
+			last := len(portFree.ports) - 1
+			portFree.ports[i] = portFree.ports[last]
+			portFree.ports[last] = nil
+			portFree.ports = portFree.ports[:last]
+			portFree.Unlock()
+			return s[:p]
+		}
 	}
-	for i := range n.lastSend {
-		n.lastSend[i] = -n.G
-		n.lastRecv[i] = -n.G
+	portFree.Unlock()
+	return make([]sim.Time, p)
+}
+
+// acquireStamps returns a zeroed length-p stamp array.  Zero never
+// equals a live generation (gen starts at 1 and skips 0 on wrap), so a
+// cleared stamp marks every node's ports uninitialized.
+func acquireStamps(p int) []uint32 {
+	portFree.Lock()
+	for i := len(portFree.stamps) - 1; i >= 0; i-- {
+		if s := portFree.stamps[i]; cap(s) >= p {
+			last := len(portFree.stamps) - 1
+			portFree.stamps[i] = portFree.stamps[last]
+			portFree.stamps[last] = nil
+			portFree.stamps = portFree.stamps[:last]
+			portFree.Unlock()
+			s = s[:p]
+			for j := range s {
+				s[j] = 0
+			}
+			return s
+		}
 	}
+	portFree.Unlock()
+	return make([]uint32, p)
+}
+
+// Release returns the net's per-node arrays to the package freelist and
+// detaches them.  Call it when the net is being discarded for good (a
+// dropped pool context); the traffic counters stay readable, but any
+// further Message or Reset panics.  Release is idempotent.
+func (n *Net) Release() {
+	if n.stamp == nil {
+		return
+	}
+	portFree.Lock()
+	for _, s := range [][]sim.Time{n.last, n.lastSend, n.lastRecv} {
+		if s != nil && len(portFree.ports) < portFreeCap {
+			portFree.ports = append(portFree.ports, s)
+		}
+	}
+	if len(portFree.stamps) < portFreeCap {
+		portFree.stamps = append(portFree.stamps, n.stamp)
+	}
+	portFree.Unlock()
+	n.last, n.lastSend, n.lastRecv, n.stamp = nil, nil, nil, nil
 }
 
 // P returns the number of nodes.
 func (n *Net) P() int { return n.p }
 
-// Reset returns the net to its post-New state in place: every port slot
-// re-stamped to -g (so the first event at each node may again happen at
-// time zero), traffic counters zeroed, and no Observer.  L, G, Mode, and
-// the Crosses predicate are configuration — derived from the machine
-// and topology the pooled context is keyed by — and are left alone.
+// Reset returns the net to its post-New state in place: every node's
+// ports again admit their first event at time zero, traffic counters are
+// zeroed, and the Observer is dropped.  L, G, Mode, and the Crosses
+// predicate are configuration — derived from the machine and topology
+// the pooled context is keyed by — and are left alone.
+//
+// Reset is O(1): it bumps the port-validity generation, invalidating
+// every stamp at once; gate lazily re-initializes a node's slots on its
+// first event of the new run.  Only on uint32 wraparound (once per 2^32
+// resets) does it pay an O(p) stamp clear, to keep a stamp left over
+// from four billion runs ago from reading as current.
 func (n *Net) Reset() {
-	n.stampPorts()
+	n.gen++
+	if n.gen == 0 {
+		for i := range n.stamp {
+			n.stamp[i] = 0
+		}
+		n.gen = 1
+	}
 	n.Messages = 0
 	n.Crossing = 0
 	n.Observer = nil
@@ -156,8 +244,20 @@ func (n *Net) effectiveG() sim.Time {
 }
 
 // gate returns the earliest time >= at that node may perform an event of
-// the given class, and records the event.
+// the given class, and records the event.  A node whose stamp predates
+// the current generation has its ports initialized here to -g (the
+// static G, as New stamped them), so its first event may happen at time
+// zero.
 func (n *Net) gate(node int, send bool, at, g sim.Time) sim.Time {
+	if n.stamp[node] != n.gen {
+		n.stamp[node] = n.gen
+		if n.Mode == Combined {
+			n.last[node] = -n.G
+		} else {
+			n.lastSend[node] = -n.G
+			n.lastRecv[node] = -n.G
+		}
+	}
 	var slot *sim.Time
 	switch {
 	case n.Mode == Combined:

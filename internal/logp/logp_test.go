@@ -223,3 +223,92 @@ func TestGapInvariantProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// traffic drives a fixed message pattern and returns every schedule, for
+// comparing a reset or recycled net against a fresh one.
+func traffic(n *Net) []Xmit {
+	var out []Xmit
+	now := sim.Time(0)
+	for i := 0; i < 40; i++ {
+		src := i % n.P()
+		dst := (src + 1 + i%3) % n.P()
+		if src == dst {
+			continue
+		}
+		x := n.Message(now, src, dst)
+		out = append(out, x)
+		now += sim.Time(i%5) * 100
+	}
+	return out
+}
+
+// TestResetIdentity: a reset net must schedule exactly like a fresh one
+// in both port modes — the O(1) generation-bump reset may leave stale
+// values in the port arrays, but gate's lazy re-stamp must hide them.
+func TestResetIdentity(t *testing.T) {
+	for _, mode := range []PortMode{Combined, PerClass} {
+		g := sim.Micros(1.6)
+		n := New(8, DefaultL, g, mode)
+		want := traffic(n)
+		for round := 0; round < 3; round++ {
+			n.Reset()
+			if n.Messages != 0 || n.Crossing != 0 || n.Observer != nil {
+				t.Fatalf("%v round %d: counters survived Reset", mode, round)
+			}
+			got := traffic(n)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v round %d message %d: got %+v, want %+v",
+						mode, round, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestResetGenerationWraparound: a net whose generation counter wraps
+// must not mistake four-billion-run-old stamps for current ones.
+func TestResetGenerationWraparound(t *testing.T) {
+	n := New(4, DefaultL, sim.Micros(1.6), Combined)
+	want := traffic(n) // stamps nodes at gen 1
+	n.gen = ^uint32(0) // force the wrap on the next Reset
+	n.Reset()
+	if n.gen != 1 {
+		t.Fatalf("gen after wraparound = %d, want 1", n.gen)
+	}
+	got := traffic(n) // gen 1 again: only a cleared stamp array keeps this fresh
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("message %d after wraparound: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestReleaseRecycles: arrays released by one net must be picked up by
+// the next New of compatible size, and the recycled net must behave
+// exactly like one over fresh arrays despite the arbitrary contents the
+// freelist hands back.
+func TestReleaseRecycles(t *testing.T) {
+	const p = 64
+	fresh := New(p, DefaultL, sim.Micros(1.6), PerClass)
+	want := traffic(fresh)
+
+	donor := New(p, DefaultL, sim.Micros(1.6), PerClass)
+	traffic(donor) // dirty the arrays
+	donor.Release()
+	if donor.last != nil || donor.lastSend != nil || donor.lastRecv != nil || donor.stamp != nil {
+		t.Fatal("Release left arrays attached")
+	}
+	donor.Release() // idempotent
+
+	reborn := New(p, DefaultL, sim.Micros(1.6), PerClass)
+	if cap(reborn.lastSend) < p || cap(reborn.stamp) < p {
+		t.Fatal("recycled net under-sized")
+	}
+	got := traffic(reborn)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("recycled net message %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -162,6 +162,61 @@ func (c *Clocks) Reset() {
 	c.size = 0
 }
 
+// HeadSet caches the earliest pending-event key of each domain's local
+// event queue.  With per-domain queues there is no single heap top to
+// consult: the release path instead reads the minimum over the cached
+// heads, which is the same event a shared heap's top would be (each head
+// is its domain's minimum, and the global minimum lives in some domain).
+// The kernel refreshes a domain's entry after every mutation of that
+// domain's queue, so Min is an O(domains) scan of hot, compact memory —
+// mirroring Clocks.Min — instead of a pop/re-push on a shared structure.
+type HeadSet struct {
+	key  []Key
+	live []bool
+}
+
+// NewHeadSet returns a head cache over the given number of domains.
+func NewHeadSet(domains int) *HeadSet {
+	if domains < 1 {
+		domains = 1
+	}
+	return &HeadSet{key: make([]Key, domains), live: make([]bool, domains)}
+}
+
+// Width reports the number of domains the set covers.
+func (h *HeadSet) Width() int { return len(h.key) }
+
+// Set records k as dom's earliest pending key.
+func (h *HeadSet) Set(dom int, k Key) {
+	h.key[dom] = k
+	h.live[dom] = true
+}
+
+// Clear marks dom as having no pending events.
+func (h *HeadSet) Clear(dom int) {
+	h.key[dom] = Key{}
+	h.live[dom] = false
+}
+
+// Min returns the earliest cached head and its domain.  ok is false when
+// every domain is empty.
+func (h *HeadSet) Min() (k Key, dom int, ok bool) {
+	for d := range h.key {
+		if h.live[d] && (!ok || h.key[d].Less(k)) {
+			k, dom, ok = h.key[d], d, true
+		}
+	}
+	return k, dom, ok
+}
+
+// Reset clears every head in place.
+func (h *HeadSet) Reset() {
+	for d := range h.key {
+		h.key[d] = Key{}
+		h.live[d] = false
+	}
+}
+
 // Horizon is the window bound derived from the oldest incomplete span's
 // timestamp and the backend lookahead, saturating instead of wrapping.
 func Horizon(minAt, lookahead int64) int64 {

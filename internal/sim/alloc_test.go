@@ -43,38 +43,72 @@ func TestEventDispatchAllocBudget(t *testing.T) {
 	}
 }
 
-// TestQueueRetainsNoProcsAfterRun guards the memory-pin fix: after Run
-// drains, neither the heap's backing array nor the same-timestamp FIFO
-// may still reference a *Proc.  A retained reference would pin the
-// process (and transitively its closure and goroutine allocations) for
-// the lifetime of the engine — a real leak for long-lived services that
-// keep engines around after inspecting results.
-func TestQueueRetainsNoProcsAfterRun(t *testing.T) {
-	e := NewEngine()
-	for i := 0; i < 64; i++ {
-		i := i
-		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
-			for j := 0; j < 50; j++ {
-				p.Hold(Time(1 + (i+j)%7))
+// scanRetained reports every backing slot — including slots beyond the
+// live length, up to capacity — of the engine's event structures that
+// still references a *Proc: the heap, the same-timestamp FIFO, the
+// ladder queue (bottom run, rung buckets, top), and the per-domain
+// parallel queues' backing stores.
+func scanRetained(t *testing.T, e *Engine, when string) {
+	t.Helper()
+	check := func(where string, s []event) {
+		full := s[:cap(s)]
+		for i := range full {
+			if full[i].p != nil {
+				t.Errorf("%s: %s backing slot %d still references proc %q",
+					when, where, i, full[i].p.Name)
 			}
-		})
-	}
-	if err := e.Run(); err != nil {
-		t.Fatal(err)
-	}
-	full := e.heap.s[:cap(e.heap.s)]
-	for i := range full {
-		if full[i].p != nil {
-			t.Errorf("heap backing slot %d still references proc %q after Run",
-				i, full[i].p.Name)
 		}
 	}
-	nowFull := e.nowQ[:cap(e.nowQ)]
-	for i := range nowFull {
-		if nowFull[i].p != nil {
-			t.Errorf("nowQ backing slot %d still references proc %q after Run",
-				i, nowFull[i].p.Name)
+	checkLadder := func(where string, l *ladderQueue) {
+		check(where+" bottom", l.bot)
+		check(where+" top", l.top)
+		rungs := l.rungs[:cap(l.rungs)]
+		for ri := range rungs {
+			bkt := rungs[ri].bkt[:cap(rungs[ri].bkt)]
+			for bi := range bkt {
+				check(fmt.Sprintf("%s rung %d bucket %d", where, ri, bi), bkt[bi])
+			}
 		}
+	}
+	check("heap", e.heap.s)
+	check("nowQ", e.nowQ)
+	checkLadder("ladder", &e.lad)
+	for i := range e.pqHeaps {
+		check(fmt.Sprintf("domain heap %d", i), e.pqHeaps[i].s)
+	}
+	for i := range e.pqLads {
+		checkLadder(fmt.Sprintf("domain ladder %d", i), &e.pqLads[i])
+	}
+}
+
+// TestQueueRetainsNoProcsAfterRun guards the memory-pin fix: after Run
+// drains, none of the event structures' backing arrays — heap,
+// same-timestamp FIFO, or any part of the ladder queue — may still
+// reference a *Proc.  A retained reference would pin the process (and
+// transitively its closure and goroutine allocations) for the lifetime
+// of the engine — a real leak for long-lived services that keep engines
+// around after inspecting results.  The large round crosses the
+// ladderProcs threshold so the ladder queue's slots are exercised too.
+func TestQueueRetainsNoProcsAfterRun(t *testing.T) {
+	for _, procs := range []int{64, ladderProcs} {
+		e := NewEngine()
+		for i := 0; i < procs; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 50; j++ {
+					p.Hold(Time(1 + (i+j)%7))
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if procs >= ladderProcs && e.q != &e.lad {
+			t.Fatalf("%d-proc run did not select the ladder queue", procs)
+		}
+		scanRetained(t, e, fmt.Sprintf("after %d-proc run", procs))
+		e.Reset()
+		scanRetained(t, e, fmt.Sprintf("after %d-proc run + Reset", procs))
 	}
 }
 

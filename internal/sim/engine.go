@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"spasm/internal/par"
 )
 
 // event is a scheduled resumption of a process.
@@ -83,9 +85,17 @@ func (h *eventHeap) pop() event {
 // before Run or from within simulated processes (which the engine runs one
 // at a time).
 type Engine struct {
-	now  Time
+	now Time
+	seq uint64
+
+	// q is the active pending-event queue.  Small runs use the binary
+	// heap; runs past the ladder thresholds use the ladder queue (see
+	// queue.go).  Both pop in the same total (at, seq) order, so the
+	// choice never affects results.  Both backing structures live on the
+	// engine so pooled reuse reallocates neither.
+	q    eventQueue
 	heap eventHeap
-	seq  uint64
+	lad  ladderQueue
 
 	// nowQ is the same-timestamp fast path: events scheduled at the
 	// current simulated time bypass the heap entirely and are dispatched
@@ -155,11 +165,26 @@ type Engine struct {
 	parRel  uint64
 	parSec  uint64
 	parPeak int
+
+	// Per-domain event queues of the parallel mode (see parallel.go):
+	// domain-local scheduling mutates only pq[dom], and window release
+	// scans the parHeads cache — one key per domain — instead of popping
+	// a single shared structure.  pqn counts events across all domain
+	// queues (including stale ones not yet discarded); pqHeaps/pqLads
+	// are the reusable backing stores the pq slots point into.
+	pq       []eventQueue
+	pqn      int
+	parHeads *par.HeadSet
+	pqHeaps  []eventHeap
+	pqLads   []ladderQueue
 }
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{done: make(chan error, 1)}
+	e := &Engine{done: make(chan error, 1)}
+	e.q = &e.heap
+	e.lad.topStart = minTime
+	return e
 }
 
 // Reset returns the engine to its post-NewEngine state while keeping the
@@ -177,10 +202,9 @@ func NewEngine() *Engine {
 // pooled contexts whose run did not complete cleanly are discarded
 // rather than reset (see internal/runpool.Pool.Discard).
 func (e *Engine) Reset() {
-	for i := range e.heap.s {
-		e.heap.s[i] = event{}
-	}
-	e.heap.s = e.heap.s[:0]
+	e.heap.reset()
+	e.lad.reset()
+	e.q = &e.heap
 	for i := range e.nowQ {
 		e.nowQ[i] = event{}
 	}
@@ -215,6 +239,19 @@ func (e *Engine) Reset() {
 	e.parRel = 0
 	e.parSec = 0
 	e.parPeak = 0
+	// Per-domain queues: the backing stores are cleared directly (the pq
+	// interface slots alias them), so no event — and no *Proc — survives
+	// pooled reuse.
+	for i := range e.pqHeaps {
+		e.pqHeaps[i].reset()
+	}
+	for i := range e.pqLads {
+		e.pqLads[i].reset()
+	}
+	e.pqn = 0
+	if e.parHeads != nil {
+		e.parHeads.Reset()
+	}
 	// The done channel may hold an unread result if the previous run was
 	// abandoned; a fresh channel is cheaper than reasoning about drains.
 	e.done = make(chan error, 1)
@@ -242,9 +279,9 @@ func (e *Engine) Procs() []*Proc { return e.procs }
 // schedule enqueues a resumption of p at time at (>= now).  Bumping
 // p.gen invalidates any earlier pending event for p at push time: a
 // stale wakeup is recognized by its generation mismatch when popped, so
-// the queue never needs scanning.  In parallel mode the heap is shared,
-// so the mutation happens under the gate mutex (and always through the
-// heap — see parScheduleLocked).
+// the queue never needs scanning.  In parallel mode scheduling goes to
+// the per-domain queues instead, under the gate mutex (see
+// parScheduleLocked).
 func (e *Engine) schedule(at Time, p *Proc) {
 	if e.par != nil {
 		e.parMu.Lock()
@@ -264,16 +301,20 @@ func (e *Engine) schedule(at Time, p *Proc) {
 	if at == e.now {
 		e.nowQ = append(e.nowQ, ev)
 	} else {
-		e.heap.push(ev)
+		e.q.push(ev)
+		if e.q == &e.heap && e.heap.len() >= ladderPending {
+			e.escalate() // backlog outgrew the heap mid-run
+		}
 	}
 }
 
-// next pops the next event in (at, seq) order, merging the heap with the
-// same-timestamp FIFO.  Heap entries at the current time always predate
-// nowQ entries (see the nowQ field comment), so they drain first.
+// next pops the next event in (at, seq) order, merging the queue with
+// the same-timestamp FIFO.  Queue entries at the current time always
+// predate nowQ entries (see the nowQ field comment), so they drain
+// first.
 func (e *Engine) next() (event, bool) {
-	if len(e.heap.s) > 0 && e.heap.s[0].at == e.now {
-		return e.heap.pop(), true
+	if top := e.q.peek(); top != nil && top.at == e.now {
+		return e.q.pop(), true
 	}
 	if e.nowHead < len(e.nowQ) {
 		ev := e.nowQ[e.nowHead]
@@ -285,8 +326,8 @@ func (e *Engine) next() (event, bool) {
 		}
 		return ev, true
 	}
-	if len(e.heap.s) > 0 {
-		return e.heap.pop(), true
+	if e.q.len() > 0 {
+		return e.q.pop(), true
 	}
 	return event{}, false
 }
@@ -471,6 +512,9 @@ func (e *Engine) Run() error {
 		} else {
 			return e.runParallel()
 		}
+	}
+	if e.q == &e.heap && len(e.procs) >= ladderProcs {
+		e.escalate() // large-P run: start on the ladder queue
 	}
 	e.advance(nil)
 	return <-e.done

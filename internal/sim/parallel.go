@@ -164,20 +164,88 @@ func (e *Engine) runParallel() error {
 		clocks: par.NewClocks(d),
 		pol:    par.Policy{Workers: e.pworkers, Lookahead: int64(e.plook)},
 	}
+	e.parSetupQueues(d)
 	// Events scheduled before Run (process starts) sit in the sequential
-	// same-timestamp FIFO; parallel mode releases from the heap only, so
-	// migrate them.  Heap order on equal timestamps is seq order — the
-	// FIFO order — so dispatch order is unchanged.
+	// same-timestamp FIFO; parallel mode releases from the per-domain
+	// queues only, so migrate them.  Queue order on equal timestamps is
+	// seq order — the FIFO order — so dispatch order is unchanged.
 	for i := e.nowHead; i < len(e.nowQ); i++ {
-		e.heap.push(e.nowQ[i])
+		ev := e.nowQ[i]
+		e.pq[ev.p.dom].push(ev)
+		e.pqn++
 		e.nowQ[i] = event{}
 	}
 	e.nowQ = e.nowQ[:0]
 	e.nowHead = 0
+	for dom := 0; dom < d; dom++ {
+		e.parHeadRefresh(dom)
+	}
 	e.parMu.Lock()
 	e.parReleaseLocked()
 	e.parMu.Unlock()
 	return <-e.done
+}
+
+// parSetupQueues (re)builds the per-domain pending-event queues for a
+// parallel run.  Each domain schedules into its own queue — a heap for
+// modest per-domain populations, a ladder queue past ladderProcs per
+// domain — and the release path consults the parHeads cache (one key
+// per domain) instead of a single shared heap, so window release scans
+// O(domains) and a domain's scheduling touches only domain-local
+// memory.  The backing stores persist on the engine across pooled runs.
+func (e *Engine) parSetupQueues(d int) {
+	if cap(e.pq) >= d {
+		e.pq = e.pq[:d]
+	} else {
+		e.pq = make([]eventQueue, d)
+	}
+	if len(e.procs) >= d*ladderProcs {
+		if len(e.pqLads) < d {
+			e.pqLads = make([]ladderQueue, d)
+			for i := range e.pqLads {
+				e.pqLads[i].topStart = minTime
+			}
+		}
+		for i := 0; i < d; i++ {
+			e.pq[i] = &e.pqLads[i]
+		}
+	} else {
+		if len(e.pqHeaps) < d {
+			e.pqHeaps = make([]eventHeap, d)
+		}
+		for i := 0; i < d; i++ {
+			e.pq[i] = &e.pqHeaps[i]
+		}
+	}
+	e.pqn = 0
+	if e.parHeads == nil || e.parHeads.Width() < d {
+		e.parHeads = par.NewHeadSet(d)
+	} else {
+		e.parHeads.Reset()
+	}
+}
+
+// parHeadRefresh re-derives dom's cached head key after its queue
+// changed, discarding stale events as they surface: their generation no
+// longer matches, so the sequential kernel would skip them at dispatch —
+// dropping them here is the same semantics, and it keeps every cached
+// head live.  Callers hold parMu (or run before the window opens).
+func (e *Engine) parHeadRefresh(dom int) {
+	q := e.pq[dom]
+	for {
+		ev := q.peek()
+		if ev == nil {
+			e.parHeads.Clear(dom)
+			return
+		}
+		if ev.gen != ev.p.gen {
+			q.pop() // stale wakeup, superseded at push time
+			e.pqn--
+			continue
+		}
+		e.parHeads.Set(dom, par.Key{At: int64(ev.at), Seq: ev.seq})
+		return
+	}
 }
 
 // key is p's current span key.
@@ -185,8 +253,9 @@ func (p *Proc) key() par.Key { return par.Key{At: int64(p.at), Seq: p.spanSeq} }
 
 // parScheduleLocked is schedule's core under the gate mutex: same
 // generation discipline as the sequential path, but always through the
-// heap — the nowQ fast path is a sequential-only optimization, and the
-// heap pops in identical (at, seq) order.
+// scheduling process's domain queue — the nowQ fast path is a
+// sequential-only optimization, and the domain queues pop in identical
+// (at, seq) order because release always takes the minimum head.
 func (e *Engine) parScheduleLocked(at Time, p *Proc) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %v < now %v", at, e.now))
@@ -196,14 +265,22 @@ func (e *Engine) parScheduleLocked(at Time, p *Proc) {
 	}
 	e.seq++
 	p.gen++
-	e.heap.push(event{at: at, seq: e.seq, gen: p.gen, p: p})
+	e.pq[p.dom].push(event{at: at, seq: e.seq, gen: p.gen, p: p})
+	e.pqn++
+	// The push may have created a new head, and p's superseded earlier
+	// event — now stale — may have been the old one; one refresh covers
+	// both (p's events all live in p.dom's queue).
+	e.parHeadRefresh(p.dom)
 }
 
-// parReleaseLocked releases heap events into the window while the policy
-// allows: stale events are retired unseen (as in sequential dispatch,
-// they do not count), and each released event becomes an incomplete span
-// with a clock-vector entry and a resume token.  Events are counted here,
-// at release — the same non-stale set the sequential kernel counts at
+// parReleaseLocked releases pending events into the window while the
+// policy allows: the globally oldest event is the minimum over the
+// per-domain heads (each head is its domain's oldest live event, so the
+// minimum over heads is the same event a shared heap's top would be),
+// stale events are retired unseen (as in sequential dispatch, they do
+// not count), and each released event becomes an incomplete span with a
+// clock-vector entry and a resume token.  Events are counted here, at
+// release — the same non-stale set the sequential kernel counts at
 // dispatch.
 func (e *Engine) parReleaseLocked() {
 	g := e.par
@@ -211,17 +288,23 @@ func (e *Engine) parReleaseLocked() {
 		return
 	}
 	released := false
-	for len(e.heap.s) > 0 {
-		top := &e.heap.s[0]
-		if top.gen != top.p.gen {
-			e.heap.pop() // stale wakeup, superseded at push time
-			continue
-		}
-		min, _, any := g.clocks.Min()
-		if !g.pol.Release(par.Key{At: int64(top.at), Seq: top.seq}, min, any, g.clocks.Size()) {
+	for e.pqn > 0 {
+		top, dom, ok := e.parHeads.Min()
+		if !ok {
 			break
 		}
-		ev := e.heap.pop()
+		min, _, any := g.clocks.Min()
+		if !g.pol.Release(top, min, any, g.clocks.Size()) {
+			break
+		}
+		ev := e.pq[dom].pop()
+		e.pqn--
+		e.parHeadRefresh(dom)
+		if ev.gen != ev.p.gen {
+			// Stale since its head was cached (the owner terminated):
+			// discard without releasing, as sequential dispatch would.
+			continue
+		}
 		e.Events++
 		q := ev.p
 		q.parked = false
@@ -241,12 +324,12 @@ func (e *Engine) parReleaseLocked() {
 }
 
 // parGrantable reports whether p's span may hold the commit grant: it is
-// the oldest incomplete span and no event still in the heap precedes it.
-// (A preceding heap event would dispatch first in the sequential order;
-// the release policy force-releases such events, so the condition is
-// eventually satisfied.)  While draining, heap order no longer matters —
-// the run's outcome is already decided and the remaining spans only need
-// to retire.
+// the oldest incomplete span and no event still pending in the domain
+// queues precedes it.  (A preceding pending event would dispatch first
+// in the sequential order; the release policy force-releases such
+// events, so the condition is eventually satisfied.)  While draining,
+// pending order no longer matters — the run's outcome is already decided
+// and the remaining spans only need to retire.
 func (e *Engine) parGrantable(p *Proc) bool {
 	g := e.par
 	_, id, ok := g.clocks.Min()
@@ -256,11 +339,8 @@ func (e *Engine) parGrantable(p *Proc) bool {
 	if g.stopping {
 		return true
 	}
-	if len(e.heap.s) > 0 {
-		top := &e.heap.s[0]
-		if top.at < p.at || (top.at == p.at && top.seq < p.spanSeq) {
-			return false
-		}
+	if k, _, ok := e.parHeads.Min(); ok && k.Less(p.key()) {
+		return false
 	}
 	return true
 }
@@ -335,7 +415,7 @@ func (p *Proc) parEnd() bool {
 		g.stopping = true // Interrupt mid-window: stop releasing, drain
 	}
 	e.parReleaseLocked()
-	if g.clocks.Size() == 0 && (g.stopping || len(e.heap.s) == 0) {
+	if g.clocks.Size() == 0 && (g.stopping || e.pqn == 0) {
 		stopped := g.stopping
 		e.parWin = g.windows
 		e.parRel = g.releases
@@ -344,6 +424,17 @@ func (p *Proc) parEnd() bool {
 		if stopped {
 			e.pfall = "drained-mid-flight"
 		}
+		// Merge any per-domain leftovers (an interrupted window's future
+		// events, stale entries included — sequential dispatch skips
+		// those by generation) into the sequential queue the drain loop
+		// pops from.
+		for dom := range e.pq {
+			for e.pq[dom].len() > 0 {
+				e.q.push(e.pq[dom].pop())
+			}
+		}
+		e.pqn = 0
+		e.parHeads.Reset()
 		e.par = nil // sequential mode from here on
 		e.parMu.Unlock()
 		if stopped && !e.aborting {

@@ -9,8 +9,11 @@ package spasm
 // implies the traffic was exactly the scheduled traffic.
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 
+	"spasm/internal/report"
 	"spasm/internal/stats"
 )
 
@@ -48,6 +51,43 @@ func TestTarget256Procs(t *testing.T) {
 	// uniform writes to shared blocks force invalidations.
 	if res.Stats.Count(func(q *stats.Proc) uint64 { return q.Invals }) == 0 {
 		t.Fatal("coherent 256-processor run produced no invalidations")
+	}
+}
+
+// TestFlow1024PooledIdentical locks pooled reuse at the scale the
+// large-P allocation work targets: a 1024-processor flow-tier run on a
+// reused context — whose second pass rides the flow arena, the pooled
+// reference PRNGs, and the ladder event queue all in their post-reset
+// state — must produce a RunDoc byte-identical to a fresh run's.
+func TestFlow1024PooledIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three 1024-processor runs")
+	}
+	cfg := Config{Kind: Flow, Topology: "torus", P: 1024}
+	fresh, err := RunExtended("uniform", Tiny, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(report.RunJSON(fresh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewRunPool(0)
+	for pass := 0; pass < 2; pass++ {
+		pooled, err := RunOn("uniform", Tiny, 1, cfg, pool)
+		if err != nil {
+			t.Fatalf("pooled pass %d: %v", pass, err)
+		}
+		got, err := json.Marshal(report.RunJSON(pooled))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("pooled pass %d diverged from fresh run\nfresh:  %s\npooled: %s", pass, want, got)
+		}
+	}
+	if st := pool.Stats(); st.Hits != 1 {
+		t.Fatalf("second pooled pass did not reuse the context (stats %+v)", st)
 	}
 }
 
