@@ -1,9 +1,12 @@
 package spasm
 
 import (
+	"errors"
+
 	"spasm/internal/app"
 	"spasm/internal/apps"
 	"spasm/internal/exp"
+	"spasm/internal/probe"
 	"spasm/internal/runpool"
 )
 
@@ -99,4 +102,40 @@ func RunSpecControlled(spec Spec, pool *RunPool, ctl RunControl) (*Result, error
 		return nil, err
 	}
 	return app.RunPooledControlled(prog, spec.Config(), pool, ctl)
+}
+
+// ErrAdaptiveProfiled marks a profiled-controlled run rejected because
+// the spec is adaptive: adaptive runs resolve their network tier by
+// re-running, so a single live profile cannot describe them.  Resolve
+// the tier first (RunSpecProfiled does) or pin the machine explicitly.
+var ErrAdaptiveProfiled = errors.New("spasm: adaptive spec cannot be live-profiled; pin the machine tier")
+
+// RunSpecProfiledControlled is RunSpecControlled with a telemetry
+// profiler attached — the worker path behind spasmd's live run
+// streaming: pc.OnEpoch fires for each profile epoch as it closes
+// during the run.  Profiling inherits RunSpec's determinism and does
+// not perturb the simulated execution, but it does hook the engine
+// clock, which forces the sequential kernel even when ctl.Workers > 1.
+// Adaptive specs are rejected with ErrAdaptiveProfiled.
+func RunSpecProfiledControlled(spec Spec, pool *RunPool, ctl RunControl, pc ProfileConfig) (*Result, *Profile, error) {
+	spec = spec.Canonical()
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if spec.Adaptive {
+		return nil, nil, ErrAdaptiveProfiled
+	}
+	if ctl.Workers == 0 {
+		ctl.Workers = spec.Workers
+	}
+	prog, err := newProgram(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	pr := probe.New(pc)
+	res, err := app.RunPooledInstrumented(prog, spec.Config(), pool, ctl, pr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, pr.Profile(), nil
 }

@@ -7,6 +7,7 @@
 //
 //	spasmd                       # listen on :8347, GOMAXPROCS workers
 //	spasmd -addr :9000 -workers 8 -cache 1024
+//	spasmd -store /var/lib/spasmd  # durable result store: restarts stay warm
 //
 // Quick start:
 //
@@ -30,28 +31,71 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"spasm/internal/service"
+	"spasm/internal/service/store"
 )
+
+// parseWeights parses -tenant-weights ("alice=4,bob=1") into the
+// service's weight map.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, errors.New("want tenant=weight pairs, e.g. alice=4,bob=1")
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, errors.New("tenant weight must be a positive integer")
+		}
+		out[name] = w
+	}
+	return out, nil
+}
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8347", "listen address")
-		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		cacheSize  = flag.Int("cache", 512, "result-cache capacity, in runs")
-		queue      = flag.Int("queue", 1024, "pending-job queue depth")
-		drain      = flag.Duration("drain", 10*time.Minute, "graceful-shutdown drain timeout")
-		runTimeout = flag.Duration("run-timeout", 0, "per-job wall-clock simulation deadline (0 = unbounded)")
-		negCache   = flag.Int("neg-cache", 64, "failed-result cache capacity, in runs")
-		negTTL     = flag.Duration("neg-ttl", 30*time.Second, "failed-result cache entry lifetime")
+		addr        = flag.String("addr", ":8347", "listen address")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		cacheSize   = flag.Int("cache", 512, "result-cache capacity, in runs")
+		queue       = flag.Int("queue", 1024, "pending-job queue depth")
+		drain       = flag.Duration("drain", 10*time.Minute, "graceful-shutdown drain timeout")
+		runTimeout  = flag.Duration("run-timeout", 0, "per-job wall-clock simulation deadline (0 = unbounded)")
+		negCache    = flag.Int("neg-cache", 64, "failed-result cache capacity, in runs")
+		negTTL      = flag.Duration("neg-ttl", 30*time.Second, "failed-result cache entry lifetime")
+		storeDir    = flag.String("store", "", "durable result-store directory (empty = memory-only)")
+		maxBody     = flag.Int64("max-body", 1<<20, "request-body size cap, in bytes")
+		tenantRuns  = flag.Int("tenant-runs", 0, "per-tenant outstanding-run quota (0 = unlimited)")
+		tenantBytes = flag.Int64("tenant-bytes", 0, "per-tenant queued-body-bytes quota (0 = unlimited)")
+		weightsFlag = flag.String("tenant-weights", "", "per-tenant fair-share weights, e.g. alice=4,bob=1")
 	)
 	flag.Parse()
+
+	weights, err := parseWeights(*weightsFlag)
+	if err != nil {
+		log.Fatalf("spasmd: -tenant-weights: %v", err)
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		if st, err = store.Open(*storeDir); err != nil {
+			log.Fatalf("spasmd: -store: %v", err)
+		}
+		log.Printf("spasmd: durable store at %s (%d runs warm)", st.Dir(), st.Stats().Entries)
+	}
 
 	svc := service.New(service.Config{
 		Workers: *workers, CacheSize: *cacheSize, QueueDepth: *queue,
 		RunTimeout: *runTimeout, NegativeCacheSize: *negCache, NegativeTTL: *negTTL,
+		Store: st, MaxBodyBytes: *maxBody,
+		TenantWeights: weights, TenantQuotaRuns: *tenantRuns, TenantQuotaBytes: *tenantBytes,
 	})
 	hs := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

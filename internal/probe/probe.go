@@ -81,6 +81,14 @@ type Config struct {
 	// activity beyond it folds into an overflow aggregate under link id
 	// NumLinks (0 = DefaultMaxLinks; minimum 1).
 	MaxLinks int
+	// OnEpoch, when set, is called for each epoch as it closes during
+	// the run (and for the remaining tail at Finish), enabling live
+	// streaming of the profile while the simulation executes.  The hook
+	// runs synchronously on the simulation goroutine: it must be cheap,
+	// must not block, and must not re-enter the profiler.  Emitted
+	// events are provisional — see EpochEvent.  Setting OnEpoch does
+	// not change the finished Profile in any way.
+	OnEpoch func(EpochEvent)
 }
 
 // ProcSample is one processor's activity within one epoch: the deltas of
@@ -374,6 +382,7 @@ type Profiler struct {
 	maxLinks  int
 	epochs    []epochAcc
 	closed    int // fully closed epochs; epoch `closed` is open
+	emitted   int // epochs already fired through cfg.OnEpoch
 	snap      []procSnap
 
 	profile *Profile
@@ -424,6 +433,7 @@ func (pr *Profiler) Reset() {
 	}
 	pr.epochs = pr.epochs[:0]
 	pr.closed = 0
+	pr.emitted = 0
 	pr.snap = pr.snap[:0]
 	pr.profile = nil
 }
@@ -480,6 +490,7 @@ func (pr *Profiler) tick(now sim.Time) {
 	// snapAll may have rescaled; recompute the closed count against the
 	// current epoch length.
 	pr.closed = int(now / pr.epochLen)
+	pr.emitClosed(pr.closed, false)
 }
 
 // snapAll distributes every processor's statistics deltas since its
@@ -596,6 +607,10 @@ func (pr *Profiler) rescale() {
 	pr.epochs = pr.epochs[:n]
 	pr.epochLen *= 2
 	pr.closed /= 2
+	// Already-emitted epochs merged pairwise too; the merged epoch
+	// holding any not-yet-emitted half counts as unemitted, so it fires
+	// (again, at the doubled length) on the next boundary crossing.
+	pr.emitted /= 2
 }
 
 // fabricXmit is the detailed fabric's observer: it attributes the
@@ -692,6 +707,9 @@ func (pr *Profiler) Finish(res *app.Result) {
 	for len(p.Epochs) > 0 && p.EpochStart(len(p.Epochs)-1) > p.Total {
 		p.Epochs = p.Epochs[:len(p.Epochs)-1]
 	}
+	// Flush the unemitted tail (the final partial epoch, and any earlier
+	// epochs the last boundary crossing had not reached).
+	pr.emitClosed(len(p.Epochs), true)
 	pr.profile = p
 }
 

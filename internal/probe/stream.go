@@ -1,0 +1,101 @@
+package probe
+
+import (
+	"spasm/internal/sim"
+	"spasm/internal/stats"
+)
+
+// EpochEvent is one incremental epoch emission: a per-epoch aggregate
+// published while the run is still executing, the payload behind
+// spasmd's live result streaming.
+//
+// Events are provisional in a way the finished Profile is not.  Two
+// effects can revise an epoch after it was emitted: local-clock
+// spreading may charge late-observed activity back into it, and an
+// epoch-budget rescale merges adjacent epochs pairwise (after a rescale
+// the already-covered timeline is re-emitted at the doubled epoch
+// length, which is why every event carries its own EpochLen and Start).
+// Live consumers should treat the stream as telemetry; the canonical
+// record is the deterministic encoded Profile at run completion.
+type EpochEvent struct {
+	// Index is the epoch's index at the resolution current when the
+	// event fired; Start = Index * EpochLen.
+	Index    int
+	EpochLen sim.Time
+	Start    sim.Time
+
+	// Buckets holds the epoch's overhead-bucket deltas summed over all
+	// processors.
+	Buckets [stats.NumBuckets]sim.Time
+
+	// Event-counter deltas summed over all processors.
+	Misses     uint64
+	Invals     uint64
+	Writebacks uint64
+	Messages   uint64
+
+	// LinkBusy and LinkPeak are the summed and single-busiest link
+	// occupancy within the epoch (0 on machines without per-link
+	// telemetry); NumLinks is the link id space for normalizing them.
+	LinkBusy sim.Time
+	LinkPeak sim.Time
+	NumLinks int
+
+	// Final marks events emitted while closing the run's tail (from
+	// Finish rather than from a live boundary crossing).
+	Final bool
+}
+
+// Utilization returns the epoch's mean and single-busiest-link
+// utilization, both 0 without per-link telemetry.
+func (e *EpochEvent) Utilization() (mean, max float64) {
+	if e.NumLinks == 0 || e.EpochLen == 0 {
+		return 0, 0
+	}
+	el := float64(e.EpochLen)
+	return float64(e.LinkBusy) / (el * float64(e.NumLinks)), float64(e.LinkPeak) / el
+}
+
+// event renders epoch idx's accumulator as an EpochEvent.
+func (pr *Profiler) event(idx int, final bool) EpochEvent {
+	ev := EpochEvent{
+		Index:    idx,
+		EpochLen: pr.epochLen,
+		Start:    sim.Time(idx) * pr.epochLen,
+		NumLinks: pr.numLinks,
+		Final:    final,
+	}
+	acc := &pr.epochs[idx]
+	for i := range acc.procs {
+		ps := &acc.procs[i]
+		for b := range ps.Buckets {
+			ev.Buckets[b] += ps.Buckets[b]
+		}
+		ev.Misses += ps.Misses
+		ev.Invals += ps.Invals
+		ev.Writebacks += ps.Writebacks
+		ev.Messages += ps.Messages
+	}
+	for _, l := range acc.links {
+		ev.LinkBusy += l.Busy
+		if l.Busy > ev.LinkPeak {
+			ev.LinkPeak = l.Busy
+		}
+	}
+	return ev
+}
+
+// emitClosed fires the OnEpoch hook for every epoch below limit not yet
+// emitted.  It runs synchronously on the simulation goroutine, so the
+// hook must be cheap and must not re-enter the profiler.
+func (pr *Profiler) emitClosed(limit int, final bool) {
+	if pr.cfg.OnEpoch == nil {
+		return
+	}
+	if limit > len(pr.epochs) {
+		limit = len(pr.epochs)
+	}
+	for ; pr.emitted < limit; pr.emitted++ {
+		pr.cfg.OnEpoch(pr.event(pr.emitted, final))
+	}
+}

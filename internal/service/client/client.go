@@ -5,6 +5,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -84,6 +85,9 @@ type Client struct {
 	// retries per Retry, so this guards against outages longer than one
 	// request's backoff budget.
 	MaxPollFailures int
+	// Tenant, when set, is sent as the X-Spasm-Tenant header on every
+	// request, naming the fair-share bucket submissions queue under.
+	Tenant string
 }
 
 // New returns a client for the server at base.
@@ -119,7 +123,9 @@ func transient(err error) bool {
 	}
 	var ae *apiError
 	if errors.As(err, &ae) {
-		return ae.Status == http.StatusServiceUnavailable
+		// 503 is service back-pressure; 429 is this tenant's own quota.
+		// Both come with Retry-After and clear on their own.
+		return ae.Status == http.StatusServiceUnavailable || ae.Status == http.StatusTooManyRequests
 	}
 	return true // transport error
 }
@@ -174,6 +180,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte) (
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.Tenant != "" {
+		req.Header.Set("X-Spasm-Tenant", c.Tenant)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err
@@ -191,12 +200,33 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte) (
 		if json.Unmarshal(data, &ed) == nil && ed.Error != "" {
 			ae.Msg = ed.Error
 		}
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			ae.RetryAfter = time.Duration(secs) * time.Second
-		}
+		ae.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 		return nil, ae
 	}
 	return data, nil
+}
+
+// parseRetryAfter parses a Retry-After header in either RFC 9110 form:
+// delay-seconds or an HTTP-date.  Garbage, negative delays, and dates
+// already in the past yield 0, which the retry policy treats as "no
+// hint" and falls back to its own backoff — a malformed or hostile
+// header can neither stall the client nor make it hammer the server.
+func parseRetryAfter(h string, now time.Time) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // do issues a request (with retries) and decodes the JSON response into
@@ -282,6 +312,122 @@ func (c *Client) Run(ctx context.Context, req service.RunRequest) (*service.RunS
 
 func terminal(s service.State) bool {
 	return s == service.StateDone || s == service.StateFailed || s == service.StateCanceled
+}
+
+// StreamEvent is one event from a run's SSE feed: Event is "state",
+// "epoch", or "result"; Data is the event's JSON payload.  "epoch"
+// events are provisional live telemetry (a profile rescale re-emits the
+// covered timeline at a coarser resolution); the "result" event carries
+// the terminal RunStatus.
+type StreamEvent struct {
+	Event string
+	Data  json.RawMessage
+}
+
+// RunStream submits a run and follows it live: the server executes the
+// run instrumented and streams profile epochs as they close, and
+// onEvent (when non-nil) observes every event in order.  A non-nil
+// error from onEvent abandons the stream and is returned; the server
+// then cancels the job if nobody else wants it.  The returned status is
+// the terminal "result" event.  Unlike Run, a stream is not replayable
+// mid-flight, so there are no transparent retries — but resubmitting is
+// always safe (the run coalesces or hits the cache).
+func (c *Client) RunStream(ctx context.Context, req service.RunRequest, onEvent func(StreamEvent) error) (*service.RunStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return c.stream(ctx, http.MethodPost, "/v1/runs?stream=1", body, onEvent)
+}
+
+// Stream attaches to an existing run's SSE feed by ID.  A run that is
+// already complete (cached in memory or in the durable store) yields
+// its single "result" event immediately; a pending run submitted with
+// streaming yields live epochs.
+func (c *Client) Stream(ctx context.Context, id string, onEvent func(StreamEvent) error) (*service.RunStatus, error) {
+	return c.stream(ctx, http.MethodGet, "/v1/runs/"+id+"/stream", nil, onEvent)
+}
+
+func (c *Client) stream(ctx context.Context, method, path string, body []byte, onEvent func(StreamEvent) error) (*service.RunStatus, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if c.Tenant != "" {
+		req.Header.Set("X-Spasm-Tenant", c.Tenant)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		ae := &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+		var ed struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &ed) == nil && ed.Error != "" {
+			ae.Msg = ed.Error
+		}
+		ae.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+		return nil, ae
+	}
+
+	var final *service.RunStatus
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var ev StreamEvent
+	flush := func() error {
+		if ev.Event == "" && ev.Data == nil {
+			return nil
+		}
+		if ev.Event == "result" {
+			st := &service.RunStatus{}
+			if err := json.Unmarshal(ev.Data, st); err == nil {
+				final = st
+			}
+		}
+		var cbErr error
+		if onEvent != nil {
+			cbErr = onEvent(ev)
+		}
+		ev = StreamEvent{}
+		return cbErr
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return final, err
+			}
+		case strings.HasPrefix(line, ":"):
+			// keep-alive comment
+		case strings.HasPrefix(line, "event:"):
+			ev.Event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			ev.Data = append(ev.Data, strings.TrimSpace(strings.TrimPrefix(line, "data:"))...)
+		}
+	}
+	if err := flush(); err != nil {
+		return final, err
+	}
+	if err := sc.Err(); err != nil {
+		return final, err
+	}
+	if final == nil {
+		return nil, errors.New("client: stream ended without a result event")
+	}
+	return final, nil
 }
 
 // DecodeResult unpacks a completed run's statistics document.

@@ -192,3 +192,93 @@ func TestRunStopsOnCanceledState(t *testing.T) {
 		t.Fatalf("state = %s, want canceled", st.State)
 	}
 }
+
+// TestParseRetryAfter: both RFC 9110 forms are honored, and anything
+// malformed, negative, or already in the past degrades to "no hint" so
+// the policy's own backoff applies — a bad header can neither stall the
+// client nor stampede the server.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2025, 6, 1, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},
+		{"3", 3 * time.Second},
+		{"0", 0},
+		{"-5", 0},
+		{"soon", 0},
+		{"2.5", 0},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{now.Add(-time.Hour).Format(http.TimeFormat), 0},
+		{"Sun, 32 Jun 2025 12:00:00 GMT", 0}, // unparseable date
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.header, now); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}
+
+// TestRetryHonorsHTTPDateHint: a Retry-After given as an HTTP-date
+// (the form the seconds-only parser used to drop) reaches the backoff
+// as a hint.
+func TestRetryHonorsHTTPDateHint(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(time.Hour).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"busy"}`))
+			return
+		}
+		json.NewEncoder(w).Encode(doneStatus("abc"))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = fastRetry // MaxDelay 5ms clamps the hour-long hint, keeping the test fast
+	t0 := time.Now()
+	st, err := c.SubmitRun(context.Background(), service.RunRequest{App: "ep", P: 2})
+	if err != nil || st.State != service.StateDone {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	// The hint was parsed (not treated as garbage) and clamped by
+	// MaxDelay rather than slept in full.
+	if since := time.Since(t0); since > 10*time.Second {
+		t.Fatalf("hour-long hint escaped the MaxDelay clamp: %v", since)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2", calls.Load())
+	}
+}
+
+// TestQuotaRejectionIsRetried: 429 (per-tenant quota) clears as the
+// tenant's own work drains, so the client retries it like 503.
+func TestQuotaRejectionIsRetried(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Spasm-Tenant") != "alice" {
+			t.Errorf("tenant header = %q, want alice", r.Header.Get("X-Spasm-Tenant"))
+		}
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"service: tenant over admission quota"}`))
+			return
+		}
+		json.NewEncoder(w).Encode(doneStatus("abc"))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Retry = fastRetry
+	c.Tenant = "alice"
+	st, err := c.SubmitRun(context.Background(), service.RunRequest{App: "ep", P: 2})
+	if err != nil || st.State != service.StateDone {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2 (429 retried once)", calls.Load())
+	}
+}

@@ -1,0 +1,113 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"spasm/internal/service"
+	"spasm/internal/service/client"
+	"spasm/internal/service/store"
+)
+
+// TestStoreWarmRestart is the durability contract end to end: a run
+// computed by one spasmd process is served by the next process from
+// disk — cached, byte-identical, and without burning a worker.
+func TestStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	req := service.RunRequest{App: "fft", Scale: "tiny", Machine: "target", Topology: "mesh", P: 4}
+
+	// First process: compute the run and its profile, both written
+	// through to the store.
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c1 := newTestService(t, service.Config{Workers: 2, Store: st1})
+	first, err := c1.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.State != service.StateDone || first.Cached {
+		t.Fatalf("first run: state=%s cached=%v, want a fresh done run", first.State, first.Cached)
+	}
+	firstProf, err := c1.ProfileRaw(ctx, first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second process: same directory, fresh memory.  The submission is
+	// answered from disk outright.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Stats().Entries == 0 {
+		t.Fatal("reopened store is empty; nothing was persisted")
+	}
+	svc2, c2 := newTestService(t, service.Config{Workers: 2, Store: st2})
+	second, err := c2.SubmitRun(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.State != service.StateDone || !second.Cached {
+		t.Fatalf("restarted submit: state=%s cached=%v, want done from the store", second.State, second.Cached)
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Fatalf("result bytes differ across restart:\n%s\nvs\n%s", first.Result, second.Result)
+	}
+	secondProf, err := c2.ProfileRaw(ctx, first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(firstProf, secondProf) {
+		t.Fatal("profile bytes differ across restart")
+	}
+
+	// No worker ran: the second process never counted a submission or a
+	// profile derivation — both were store hits.
+	page := svc2.RenderMetrics()
+	if v, ok := client.MetricValue(page, "spasmd_jobs_submitted_total"); !ok || v != 0 {
+		t.Fatalf("spasmd_jobs_submitted_total = %v after restart, want 0 (no re-simulation)", v)
+	}
+	if v, ok := client.MetricValue(page, "spasmd_profile_cache_misses_total"); !ok || v != 0 {
+		t.Fatalf("spasmd_profile_cache_misses_total = %v after restart, want 0", v)
+	}
+	if v, ok := client.MetricValue(page, "spasmd_store_hits_total"); !ok || v < 1 {
+		t.Fatalf("spasmd_store_hits_total = %v after restart, want >= 1", v)
+	}
+}
+
+// TestStoreStatusAfterRestart: GET /v1/runs/{id} also reads through the
+// store, so a poll-based client can recover its run by ID after the
+// daemon bounced.
+func TestStoreStatusAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c1 := newTestService(t, service.Config{Workers: 2, Store: st1})
+	first, err := c1.Run(ctx, service.RunRequest{App: "fft", Scale: "tiny", Machine: "target", Topology: "mesh", P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c2 := newTestService(t, service.Config{Workers: 2, Store: st2})
+	got, err := c2.GetRun(ctx, first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != service.StateDone || !bytes.Equal(got.Result, first.Result) {
+		t.Fatalf("poll after restart: state=%s, result match=%v", got.State, bytes.Equal(got.Result, first.Result))
+	}
+}

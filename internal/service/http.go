@@ -19,16 +19,22 @@ import (
 // Handler returns the service's HTTP API:
 //
 //	POST /v1/runs                submit a run (RunRequest); 202 pending, 200 on cache hit
+//	                             (?stream=1 upgrades the response to the run's SSE feed)
 //	GET  /v1/runs/{id}           poll a run by content address
+//	GET  /v1/runs/{id}/stream    follow a run live over Server-Sent Events
 //	GET  /v1/runs/{id}/profile   time-resolved telemetry (?format=json|csv|bin)
 //	GET  /v1/figures/{n}         regenerate paper figure n (blocks; runs are cached)
 //	GET  /v1/sweeps              ad-hoc sweep: ?app=&topo=&metric=&procs=&scale=&seed=
 //	GET  /healthz                liveness (503 once draining)
 //	GET  /metrics                Prometheus-style counters and latency histograms
+//
+// Submissions may carry an X-Spasm-Tenant header naming their fair-share
+// bucket; absent or unusable names fall to the default tenant.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.instrument("/v1/runs", s.handleSubmit))
 	mux.HandleFunc("GET /v1/runs/{id}", s.instrument("/v1/runs/{id}", s.handleGetRun))
+	mux.HandleFunc("GET /v1/runs/{id}/stream", s.instrument("/v1/runs/{id}/stream", s.handleStream))
 	mux.HandleFunc("GET /v1/runs/{id}/profile", s.instrument("/v1/runs/{id}/profile", s.handleProfile))
 	mux.HandleFunc("GET /v1/figures/{n}", s.instrument("/v1/figures/{n}", s.handleFigure))
 	mux.HandleFunc("GET /v1/sweeps", s.instrument("/v1/sweeps", s.handleSweep))
@@ -85,6 +91,12 @@ func (s *Server) submitStatus(w http.ResponseWriter, j *Job, hit bool, err error
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
 		writeUnavailable(w, err)
 		return
+	case errors.Is(err, ErrTenantQuota):
+		// The tenant (not the service) is saturated: 429, and retry as
+		// soon as some of its own work drains.
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
 	default:
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -106,9 +118,41 @@ func (s *Server) submitStatus(w http.ResponseWriter, j *Job, hit bool, err error
 	writeJSON(w, http.StatusAccepted, st)
 }
 
+// tenantOf extracts the request's fair-share bucket from the
+// X-Spasm-Tenant header.  Names are restricted to a filesystem- and
+// metrics-label-safe alphabet and a sane length; anything else falls to
+// the default tenant rather than erroring (a tenant header is a hint,
+// not a credential).
+func tenantOf(r *http.Request) string {
+	name := r.Header.Get("X-Spasm-Tenant")
+	if name == "" || len(name) > 64 {
+		return DefaultTenant
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_' {
+			continue
+		}
+		return DefaultTenant
+	}
+	return name
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.metrics.bodyTooLarge()
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body over %d bytes", mbe.Limit))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
 	var req RunRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
@@ -117,7 +161,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	j, hit, err := s.Submit(spec)
+	opt := submitOpts{tenant: tenantOf(r), bytes: int64(len(body))}
+	if r.URL.Query().Get("stream") != "" {
+		// Streaming submission: the response is the run's SSE feed, and
+		// the subscription holds the job alive exactly as long as the
+		// client stays connected.
+		opt.stream = true
+		j, _, release, err := s.submitWaited(spec, opt)
+		if err != nil {
+			s.submitStatus(w, nil, false, err)
+			return
+		}
+		defer release()
+		s.serveStream(w, r, j)
+		return
+	}
+	opt.pin = true
+	j, hit, err := s.submit(spec, opt)
 	s.submitStatus(w, j, hit, err)
 }
 
@@ -223,6 +283,7 @@ func splitComma(s string) []string {
 // exp.Session assembles the curves from the pooled results.
 func (s *Server) figureResult(r *http.Request, fig exp.Figure, opt exp.Options) (*exp.FigureResult, error) {
 	ctx := r.Context()
+	tenant := tenantOf(r)
 	opt = opt.WithDefaults()
 	spec := func(kind machine.Kind, p int) spasm.Spec {
 		return spasm.Spec{
@@ -244,7 +305,7 @@ func (s *Server) figureResult(r *http.Request, fig exp.Figure, opt exp.Options) 
 	}()
 	for _, kind := range opt.Machines {
 		for _, p := range opt.Procs {
-			_, _, release, err := s.SubmitWaited(spec(kind, p))
+			_, _, release, err := s.submitWaited(spec(kind, p), submitOpts{tenant: tenant})
 			if err != nil {
 				return nil, err
 			}
@@ -257,7 +318,7 @@ func (s *Server) figureResult(r *http.Request, fig exp.Figure, opt exp.Options) 
 			App: appName, Scale: opt.Scale, Seed: opt.Seed,
 			Machine: kind, Topology: topo, P: p,
 			PortMode: opt.PortMode,
-		})
+		}, tenant)
 	}
 	return exp.NewSession(opt).Figure(fig)
 }
@@ -272,6 +333,9 @@ func writeFigure(w http.ResponseWriter, fr *exp.FigureResult, err error) {
 			writeErr(w, http.StatusBadRequest, err)
 		case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
 			writeUnavailable(w, err)
+		case errors.Is(err, ErrTenantQuota):
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, err)
 		default:
 			writeErr(w, http.StatusInternalServerError, err)
 		}

@@ -52,12 +52,26 @@ type Metrics struct {
 	profHits      uint64 // profiles served from the memoized encoding
 	profMiss      uint64 // profiles computed on demand
 	profCoalesced uint64 // profile requests that waited on an in-flight computation
+	bodyLimited   uint64 // requests rejected 413 by the body-size cap
+	streamsOpened uint64 // SSE stream subscriptions accepted
+	streamsActive int    // SSE streams currently connected
+	streamEvents  uint64 // epoch events published to stream hubs
 	busy          int
 	byPath        map[string]*histogram
+	byTenant      map[string]*tenantCounters
+}
+
+// tenantCounters is one tenant's admission tally.
+type tenantCounters struct {
+	submitted uint64
+	rejected  uint64 // submissions bounced with ErrTenantQuota
 }
 
 func newMetrics(start time.Time, workers int) *Metrics {
-	return &Metrics{start: start, workers: workers, byPath: make(map[string]*histogram)}
+	return &Metrics{start: start, workers: workers,
+		byPath:   make(map[string]*histogram),
+		byTenant: make(map[string]*tenantCounters),
+	}
 }
 
 func (m *Metrics) jobSubmitted() {
@@ -131,6 +145,50 @@ func (m *Metrics) profileCoalesced() {
 	m.mu.Unlock()
 }
 
+func (m *Metrics) bodyTooLarge() {
+	m.mu.Lock()
+	m.bodyLimited++
+	m.mu.Unlock()
+}
+
+// streamOpen tracks the SSE subscription gauge; delta +1 also counts
+// toward the cumulative streams-started total.
+func (m *Metrics) streamOpen(delta int) {
+	m.mu.Lock()
+	m.streamsActive += delta
+	if delta > 0 {
+		m.streamsOpened++
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) streamEventEmitted() {
+	m.mu.Lock()
+	m.streamEvents++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) tenant(name string) *tenantCounters {
+	t := m.byTenant[name]
+	if t == nil {
+		t = &tenantCounters{}
+		m.byTenant[name] = t
+	}
+	return t
+}
+
+func (m *Metrics) tenantSubmitted(name string) {
+	m.mu.Lock()
+	m.tenant(name).submitted++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) tenantRejected(name string) {
+	m.mu.Lock()
+	m.tenant(name).rejected++
+	m.mu.Unlock()
+}
+
 func (m *Metrics) workerBusy(delta int) {
 	m.mu.Lock()
 	m.busy += delta
@@ -151,7 +209,7 @@ func (m *Metrics) observe(path string, d time.Duration) {
 // render writes the metrics in the Prometheus text exposition format.
 // Cache, queue, and pool figures are passed in by the Server, which owns
 // them.
-func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evictions uint64, entries int, negHits uint64, negEntries int, pool poolStats, poolKinds map[string]poolStats) {
+func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evictions uint64, entries int, negHits uint64, negEntries int, pool poolStats, poolKinds map[string]poolStats, st storeCounters, tenantQueued []tenantDepth) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	fmt.Fprintf(b, "spasmd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
@@ -187,6 +245,32 @@ func (m *Metrics) render(b *strings.Builder, queueDepth int, hits, misses, evict
 	// distinct from cache_hits, which stays a successes-only counter.
 	fmt.Fprintf(b, "spasmd_cache_negative_hits_total %d\n", negHits)
 	fmt.Fprintf(b, "spasmd_cache_negative_entries %d\n", negEntries)
+	if st.Enabled {
+		// Durable result store: disk tier below the in-memory LRU.
+		fmt.Fprintf(b, "spasmd_store_hits_total %d\n", st.Hits)
+		fmt.Fprintf(b, "spasmd_store_misses_total %d\n", st.Misses)
+		fmt.Fprintf(b, "spasmd_store_writes_total %d\n", st.Writes)
+		fmt.Fprintf(b, "spasmd_store_errors_total %d\n", st.Errors)
+		fmt.Fprintf(b, "spasmd_store_entries %d\n", st.Entries)
+		fmt.Fprintf(b, "spasmd_store_bytes %d\n", st.Bytes)
+	}
+	fmt.Fprintf(b, "spasmd_body_too_large_total %d\n", m.bodyLimited)
+	fmt.Fprintf(b, "spasmd_streams_started_total %d\n", m.streamsOpened)
+	fmt.Fprintf(b, "spasmd_streams_active %d\n", m.streamsActive)
+	fmt.Fprintf(b, "spasmd_stream_events_total %d\n", m.streamEvents)
+	tenants := make([]string, 0, len(m.byTenant))
+	for t := range m.byTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		tc := m.byTenant[t]
+		fmt.Fprintf(b, "spasmd_tenant_submitted_total{tenant=%q} %d\n", t, tc.submitted)
+		fmt.Fprintf(b, "spasmd_tenant_rejected_total{tenant=%q} %d\n", t, tc.rejected)
+	}
+	for _, td := range tenantQueued {
+		fmt.Fprintf(b, "spasmd_tenant_queued{tenant=%q} %d\n", td.name, td.depth)
+	}
 	fmt.Fprintf(b, "spasmd_pool_hits_total %d\n", pool.Hits)
 	fmt.Fprintf(b, "spasmd_pool_misses_total %d\n", pool.Misses)
 	fmt.Fprintf(b, "spasmd_pool_contexts_live %d\n", pool.Live)
@@ -230,20 +314,38 @@ type poolStats struct {
 	Live, Discarded int
 }
 
+// storeCounters mirrors the durable store's counters for rendering
+// without importing the store type here.  Enabled is false when the
+// daemon runs memory-only, which suppresses the store lines entirely.
+type storeCounters struct {
+	Enabled                      bool
+	Hits, Misses, Writes, Errors uint64
+	Entries                      int
+	Bytes                        int64
+}
+
 // Render returns the full metrics page; the Server method gathers the
 // cache, queue, and pool numbers under the locks that own them.
 func (s *Server) RenderMetrics() string {
 	s.mu.Lock()
 	hits, misses, evictions, entries := s.cache.counters()
 	negHits, negEntries := s.neg.counters()
+	tenantQueued := s.fq.queuedByTenant()
 	s.mu.Unlock()
 	ps := s.pool.Stats()
 	byKind := make(map[string]poolStats)
 	for k, ks := range s.pool.StatsByKind() {
 		byKind[k] = poolStats{Hits: ks.Hits, Misses: ks.Misses, Live: ks.Live, Discarded: ks.Discarded}
 	}
+	var st storeCounters
+	if s.store != nil {
+		ss := s.store.Stats()
+		st = storeCounters{Enabled: true, Hits: ss.Hits, Misses: ss.Misses,
+			Writes: ss.Writes, Errors: ss.Errors, Entries: ss.Entries, Bytes: ss.Bytes}
+	}
 	var b strings.Builder
 	s.metrics.render(&b, s.QueueDepth(), hits, misses, evictions, entries, negHits, negEntries,
-		poolStats{Hits: ps.Hits, Misses: ps.Misses, Live: ps.Live, Discarded: ps.Discarded}, byKind)
+		poolStats{Hits: ps.Hits, Misses: ps.Misses, Live: ps.Live, Discarded: ps.Discarded}, byKind,
+		st, tenantQueued)
 	return b.String()
 }

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"errors"
+	"sort"
+)
+
+// DefaultTenant is the bucket for requests that carry no tenant header.
+const DefaultTenant = "default"
+
+// ErrTenantQuota is returned when a submission would push its tenant
+// past a per-tenant admission quota (outstanding runs or queued bytes).
+// Unlike ErrQueueFull it indicts one tenant, not the service: other
+// tenants keep submitting normally, and the rejected tenant is admitted
+// again as soon as its own work drains.
+var ErrTenantQuota = errors.New("service: tenant over admission quota")
+
+// strideUnit is the stride numerator: a tenant of weight w advances its
+// pass by strideUnit/w per job scheduled, so relative throughput is
+// proportional to weight.
+const strideUnit = 1 << 20
+
+// tenantQueue is one tenant's admission state: its FIFO of pending jobs
+// plus the accounting the quotas and the scheduler need.
+type tenantQueue struct {
+	name   string
+	weight int
+	// pass is the tenant's stride-scheduling virtual time; the pending
+	// tenant with the smallest pass runs next.
+	pass uint64
+	jobs []*Job
+	// queuedBytes is the request-body weight of the tenant's pending
+	// jobs (charged at enqueue, credited at dispatch or cancellation).
+	queuedBytes int64
+	// outstanding counts the tenant's admitted-but-unfinished jobs —
+	// pending and running — the unit the run quota bounds.
+	outstanding int
+}
+
+// fairQueue is the pending-job queue: per-tenant FIFOs scheduled by
+// stride (weighted fair sharing), bounded globally by depth and
+// per-tenant by the run/byte quotas.  Like the caches it is not
+// self-locking — every method runs under the owning Server's mutex.
+//
+// The scheduling invariant: over any interval in which two tenants both
+// stay backlogged, the jobs dispatched to each are proportional to
+// their weights, regardless of how many requests either submits.  A
+// tenant arriving after an idle period starts at the queue's current
+// pass floor, so it cannot claim "catch-up" service for time it was
+// absent.
+type fairQueue struct {
+	depth      int
+	weights    map[string]int
+	quotaRuns  int
+	quotaBytes int64
+	maxTenants int
+
+	tenants map[string]*tenantQueue
+	size    int
+	// base is the pass floor: the pass of the most recently scheduled
+	// tenant, inherited by tenants joining (or rejoining) the queue.
+	base uint64
+}
+
+func newFairQueue(cfg Config) *fairQueue {
+	return &fairQueue{
+		depth:      cfg.QueueDepth,
+		weights:    cfg.TenantWeights,
+		quotaRuns:  cfg.TenantQuotaRuns,
+		quotaBytes: cfg.TenantQuotaBytes,
+		maxTenants: cfg.MaxTenants,
+		tenants:    make(map[string]*tenantQueue),
+	}
+}
+
+// bucket returns (creating if needed) the queue for tenant.  Beyond
+// MaxTenants distinct names, further tenants share one overflow bucket:
+// an attacker minting a tenant per request gets one tenant's share, not
+// an unbounded map.
+func (q *fairQueue) bucket(tenant string) *tenantQueue {
+	if t, ok := q.tenants[tenant]; ok {
+		return t
+	}
+	if len(q.tenants) >= q.maxTenants {
+		if t, ok := q.tenants[overflowTenant]; ok {
+			return t
+		}
+		tenant = overflowTenant
+	}
+	w := q.weights[tenant]
+	if w < 1 {
+		w = 1
+	}
+	t := &tenantQueue{name: tenant, weight: w, pass: q.base}
+	q.tenants[tenant] = t
+	return t
+}
+
+// overflowTenant aggregates tenants past the MaxTenants cap.
+const overflowTenant = "~overflow"
+
+// push admits j (whose tenant and bytes fields are set) or rejects it
+// with ErrQueueFull / ErrTenantQuota.
+func (q *fairQueue) push(j *Job) error {
+	if q.size >= q.depth {
+		return ErrQueueFull
+	}
+	t := q.bucket(j.tenant)
+	j.tenant = t.name // overflow rewrite, so later accounting finds the bucket
+	if q.quotaRuns > 0 && t.outstanding >= q.quotaRuns {
+		return ErrTenantQuota
+	}
+	if q.quotaBytes > 0 && j.bytes > 0 && t.queuedBytes+j.bytes > q.quotaBytes {
+		return ErrTenantQuota
+	}
+	if len(t.jobs) == 0 && t.pass < q.base {
+		// Rejoining after an idle stretch: no retroactive credit.
+		t.pass = q.base
+	}
+	t.jobs = append(t.jobs, j)
+	t.queuedBytes += j.bytes
+	t.outstanding++
+	q.size++
+	return nil
+}
+
+// pop dispatches the next job under stride scheduling — the pending
+// tenant with the smallest pass, ties broken by name so dispatch order
+// is deterministic — or nil when nothing is pending.
+func (q *fairQueue) pop() *Job {
+	var best *tenantQueue
+	for _, t := range q.tenants {
+		if len(t.jobs) == 0 {
+			continue
+		}
+		if best == nil || t.pass < best.pass ||
+			(t.pass == best.pass && t.name < best.name) {
+			best = t
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	j := best.jobs[0]
+	best.jobs = best.jobs[1:]
+	if len(best.jobs) == 0 {
+		best.jobs = nil
+	}
+	best.queuedBytes -= j.bytes
+	q.size--
+	q.base = best.pass
+	best.pass += strideUnit / uint64(best.weight)
+	return j
+}
+
+// remove deletes a still-pending job (the waiter-cancellation path),
+// crediting its queue accounting as if it had never been admitted.
+func (q *fairQueue) remove(j *Job) {
+	t, ok := q.tenants[j.tenant]
+	if !ok {
+		return
+	}
+	for i, pending := range t.jobs {
+		if pending == j {
+			t.jobs = append(t.jobs[:i], t.jobs[i+1:]...)
+			t.queuedBytes -= j.bytes
+			t.outstanding--
+			q.size--
+			return
+		}
+	}
+}
+
+// jobDone credits a dispatched job's completion against its tenant's
+// run quota.
+func (q *fairQueue) jobDone(j *Job) {
+	if t, ok := q.tenants[j.tenant]; ok {
+		t.outstanding--
+	}
+}
+
+// queuedByTenant snapshots each tenant's pending-job count for the
+// metrics page (tenants with no queued work are omitted), sorted by
+// name.
+func (q *fairQueue) queuedByTenant() []tenantDepth {
+	var out []tenantDepth
+	for name, t := range q.tenants {
+		if len(t.jobs) > 0 {
+			out = append(out, tenantDepth{name, len(t.jobs)})
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].name < out[k].name })
+	return out
+}
+
+type tenantDepth struct {
+	name  string
+	depth int
+}

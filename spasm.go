@@ -418,8 +418,12 @@ type (
 	Profile = probe.Profile
 	// ProfileEpoch is one sampling interval of a Profile.
 	ProfileEpoch = probe.Epoch
-	// ProfileConfig parameterizes profiling (epoch length and budget).
+	// ProfileConfig parameterizes profiling (epoch length and budget,
+	// plus the OnEpoch live-streaming hook).
 	ProfileConfig = probe.Config
+	// ProfileEpochEvent is one incremental epoch emission from the
+	// ProfileConfig.OnEpoch hook.
+	ProfileEpochEvent = probe.EpochEvent
 )
 
 // RunProfiled runs the named application like Run with a telemetry
